@@ -1,0 +1,63 @@
+/// Reproduces paper Fig. 6: the impact of the number/shape of Vth
+/// domains on the Booth multiplier —
+///   (a) minimum power at accuracies 8..16 bits for grid configs
+///       1x2, 2x1, 1x3, 3x1, 2x2, 3x3;
+///   (b) guardband area overhead of each config.
+/// Paper observations to look for: more domains generally reduce
+/// power (finer-grain boosting), but not monotonically (guardbands
+/// stretch wires); area overhead grows with domain count.
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace adq;
+  std::printf(
+      "=== Fig. 6 — Vth-domain count/shape study (Booth 16x16) ===\n\n");
+
+  const place::GridConfig grids[] = {{1, 2}, {2, 1}, {1, 3},
+                                     {3, 1}, {2, 2}, {3, 3}};
+  const std::vector<int> bits = {8, 9, 10, 11, 12, 13, 14, 15, 16};
+
+  std::vector<std::vector<std::optional<double>>> power(
+      std::size(grids), std::vector<std::optional<double>>(bits.size()));
+  std::vector<double> aovr(std::size(grids));
+
+  for (std::size_t g = 0; g < std::size(grids); ++g) {
+    const core::ImplementedDesign d =
+        bench::Implement(bench::kDesigns[0], grids[g]);
+    aovr[g] = 100.0 * d.partition.area_overhead();
+    core::ExploreOptions xopt;
+    xopt.bitwidths = bits;
+    const core::ExplorationResult r =
+        core::ExploreDesignSpace(d, bench::Lib(), xopt);
+    const auto frontier = core::Frontier(r);
+    for (std::size_t b = 0; b < bits.size(); ++b)
+      power[g][b] = core::PowerAt(frontier, bits[b]);
+  }
+
+  std::printf("(a) minimum power [W] per accuracy mode\n");
+  std::vector<std::string> head = {"bits"};
+  for (const auto& g : grids) head.push_back(place::GridConfig(g).ToString());
+  util::Table ta(head);
+  for (std::size_t b = 0; b < bits.size(); ++b) {
+    std::vector<std::string> row = {std::to_string(bits[b])};
+    for (std::size_t g = 0; g < std::size(grids); ++g)
+      row.push_back(power[g][b] ? util::Table::Sci(*power[g][b], 3)
+                                : std::string("--"));
+    ta.AddRow(row);
+  }
+  std::fputs(ta.Render().c_str(), stdout);
+
+  std::printf("\n(b) guardband area overhead [%%]\n");
+  util::Table tb({"config", "Aovr [%]"});
+  for (std::size_t g = 0; g < std::size(grids); ++g)
+    tb.AddRow({place::GridConfig(grids[g]).ToString(),
+               util::Table::Num(aovr[g], 1)});
+  std::fputs(tb.Render().c_str(), stdout);
+  std::printf(
+      "\npaper: overheads ~8%%..32%% growing with domain count; power "
+      "generally\nimproves with more domains, with occasional "
+      "inversions caused by the\nguardband-stretched routes.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+/// Reproduces paper Table I: post-P&R characteristics of the three
+/// benchmark operators — silicon area A, nominal clock frequency,
+/// the chosen Vth-domain grid, and the guardband area overhead Aovr.
+
+#include "common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace adq;
+  std::printf(
+      "=== Table I — post-P&R design characteristics ===\n"
+      "(areas are standard-cell areas in mm^2; paper values in "
+      "parentheses)\n\n");
+
+  util::Table t({"Design", "A [mm^2]", "(paper)", "fclk [GHz]", "(paper)",
+                 "Groups", "Aovr [%]", "(paper)", "timing"});
+  for (const bench::DesignCase& c : bench::kDesigns) {
+    const core::ImplementedDesign d = bench::Implement(c, c.grid);
+    t.AddRow({c.name, util::Table::Sci(bench::CellAreaMm2(d), 2),
+              util::Table::Sci(c.paper_area_mm2, 2),
+              util::Table::Num(d.fclk_ghz(), 2),
+              util::Table::Num(c.paper_fclk_ghz, 2), c.grid.ToString(),
+              util::Table::Num(100.0 * d.partition.area_overhead(), 1),
+              util::Table::Num(c.paper_aovr_pct, 0),
+              d.timing_met ? "met" : "VIOLATED"});
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  std::printf(
+      "\nnotes: our FIR is a quad-MAC folded datapath (30 taps / 8 "
+      "cycles);\nthe paper does not specify its FIR microarchitecture, "
+      "so the area is\nexpected to sit in the same decade, not to "
+      "match exactly.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#pragma once
+/// Shared scaffolding for the figure/table reproduction harnesses.
+
+#include <cstdio>
+#include <string>
+
+#include "core/dvas.h"
+#include "core/explore.h"
+#include "core/flow.h"
+#include "core/pareto.h"
+#include "gen/operator.h"
+#include "netlist/stats.h"
+
+namespace adq::bench {
+
+inline const tech::CellLibrary& Lib() {
+  static const tech::CellLibrary lib;
+  return lib;
+}
+
+/// The paper's three benchmark designs with their Table I grids.
+struct DesignCase {
+  const char* name;
+  gen::Operator (*build)(int);
+  place::GridConfig grid;
+  // Paper Table I reference values.
+  double paper_area_mm2;
+  double paper_fclk_ghz;
+  double paper_aovr_pct;
+};
+
+inline const DesignCase kDesigns[3] = {
+    {"Booth", &gen::BuildBoothOperator, {2, 2}, 2.59e-3, 1.25, 15.0},
+    {"Butterfly", &gen::BuildButterflyOperator, {3, 3}, 7.71e-3, 1.00, 17.0},
+    {"FIR", &gen::BuildFirMacOperator, {3, 3}, 9.10e-3, 0.75, 16.0},
+};
+
+inline core::ImplementedDesign Implement(const DesignCase& c,
+                                         place::GridConfig grid) {
+  core::FlowOptions fopt;
+  fopt.grid = grid;
+  return core::RunImplementationFlow(c.build(16), Lib(), fopt);
+}
+
+inline double CellAreaMm2(const core::ImplementedDesign& d) {
+  return netlist::ComputeStats(d.op.nl, Lib()).cell_area_um2 * 1e-6;
+}
+
+inline std::string MaskToString(std::uint32_t mask, int ndom) {
+  std::string s = "0b";
+  for (int d = ndom - 1; d >= 0; --d) s += ((mask >> d) & 1u) ? '1' : '0';
+  return s;
+}
+
+}  // namespace adq::bench

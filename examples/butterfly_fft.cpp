@@ -1,0 +1,185 @@
+/// \file butterfly_fft.cpp
+/// \brief Application scenario: the adequate butterfly operator inside
+/// a radix-2 DIT FFT, trading spectral accuracy for power.
+///
+/// A 64-point FFT is computed entirely with the *gate-level* butterfly
+/// datapath (every butterfly of every stage runs through the simulated
+/// netlist), at several accuracy modes. The spectral error against a
+/// double-precision FFT shows how the energy/quality knob behaves at
+/// application level — an FFT front-end can run in low-accuracy mode
+/// while scanning for activity and switch to full accuracy on demand.
+
+#include <cmath>
+#include <complex>
+#include <cstdio>
+#include <vector>
+
+#include "core/controller.h"
+#include "core/error_metrics.h"
+#include "core/explore.h"
+#include "core/flow.h"
+#include "gen/operator.h"
+#include "sim/logic_sim.h"
+#include "util/fixed_point.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace adq;
+
+constexpr int kN = 64;  // FFT points
+constexpr int kW = 16;  // operand width
+
+struct Cplx {
+  std::int64_t re = 0;
+  std::int64_t im = 0;
+};
+
+/// One gate-level butterfly: X = A + B*W, Y = A - B*W (Q15 twiddle).
+/// Inputs are clamped (DVAS accuracy knob) before entering the ports.
+struct HwButterfly {
+  sim::LogicSim sim;
+  const netlist::Netlist& nl;
+  int zeroed = 0;
+
+  explicit HwButterfly(const netlist::Netlist& n) : sim(n), nl(n) {}
+
+  std::int64_t Clamp(std::int64_t v) const {
+    const std::int64_t lim = 32767;
+    return std::max(-lim - 1, std::min(lim, v));
+  }
+  std::uint64_t Mask(std::int64_t v) const {
+    return util::MaskLsbs(util::FromSigned(Clamp(v), kW), kW, zeroed);
+  }
+
+  void Run(const Cplx& a, const Cplx& b, const Cplx& w, Cplx* x, Cplx* y) {
+    sim.SetBus(nl.InputBus("ar"), Mask(a.re));
+    sim.SetBus(nl.InputBus("ai"), Mask(a.im));
+    sim.SetBus(nl.InputBus("br"), Mask(b.re));
+    sim.SetBus(nl.InputBus("bi"), Mask(b.im));
+    sim.SetBus(nl.InputBus("wr"), Mask(w.re));
+    sim.SetBus(nl.InputBus("wi"), Mask(w.im));
+    sim.Tick();
+    sim.Tick();
+    x->re = util::ToSigned(sim.ReadBus(nl.OutputBus("xr")), kW + 2);
+    x->im = util::ToSigned(sim.ReadBus(nl.OutputBus("xi")), kW + 2);
+    y->re = util::ToSigned(sim.ReadBus(nl.OutputBus("yr")), kW + 2);
+    y->im = util::ToSigned(sim.ReadBus(nl.OutputBus("yi")), kW + 2);
+  }
+};
+
+int BitReverse(int v, int bits) {
+  int r = 0;
+  for (int i = 0; i < bits; ++i)
+    if (v & (1 << i)) r |= 1 << (bits - 1 - i);
+  return r;
+}
+
+/// Full radix-2 DIT FFT on the hardware butterfly. Data is rescaled
+/// by 1/2 per stage (shift) to avoid overflow, as fixed-point FFTs do.
+std::vector<Cplx> HwFft(HwButterfly& bf, std::vector<Cplx> data) {
+  const int bits = 6;  // log2(kN)
+  std::vector<Cplx> a(kN);
+  for (int i = 0; i < kN; ++i) a[(std::size_t)BitReverse(i, bits)] = data[(std::size_t)i];
+  for (int len = 2; len <= kN; len <<= 1) {
+    for (int base = 0; base < kN; base += len) {
+      for (int j = 0; j < len / 2; ++j) {
+        const double ang = -2.0 * M_PI * j / len;
+        const Cplx w{(std::int64_t)std::lround(std::cos(ang) * 32767.0),
+                     (std::int64_t)std::lround(std::sin(ang) * 32767.0)};
+        Cplx x, y;
+        bf.Run(a[(std::size_t)(base + j)],
+               a[(std::size_t)(base + j + len / 2)], w, &x, &y);
+        // Stage scaling by 1/2 keeps magnitudes inside 16 bits.
+        a[(std::size_t)(base + j)] = Cplx{x.re >> 1, x.im >> 1};
+        a[(std::size_t)(base + j + len / 2)] = Cplx{y.re >> 1, y.im >> 1};
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+int main() {
+  const tech::CellLibrary lib;
+
+  core::FlowOptions fopt;
+  fopt.grid = {3, 3};
+  const core::ImplementedDesign design = core::RunImplementationFlow(
+      gen::BuildButterflyOperator(kW), lib, fopt);
+  std::printf("butterfly implemented at %.2f GHz, %d domains, overhead "
+              "%.1f%%, timing %s\n\n",
+              design.fclk_ghz(), design.num_domains(),
+              100.0 * design.partition.area_overhead(),
+              design.timing_met ? "met" : "VIOLATED");
+
+  core::ExploreOptions xopt;
+  xopt.bitwidths = {8, 10, 12, 14, 16};
+  const core::RuntimeController ctrl(
+      core::ExploreDesignSpace(design, lib, xopt));
+  std::printf("runtime mode table:\n%s\n", ctrl.RenderTable().c_str());
+
+  // Input: two complex exponentials + noise.
+  util::Rng rng(77);
+  std::vector<Cplx> input(kN);
+  std::vector<std::complex<double>> ref_in(kN);
+  for (int i = 0; i < kN; ++i) {
+    const double re = 8000.0 * std::cos(2.0 * M_PI * 5 * i / kN) +
+                      3000.0 * std::cos(2.0 * M_PI * 19 * i / kN) +
+                      rng.Gaussian(0.0, 150.0);
+    const double im = 8000.0 * std::sin(2.0 * M_PI * 5 * i / kN) +
+                      rng.Gaussian(0.0, 150.0);
+    input[(std::size_t)i] = Cplx{(std::int64_t)re, (std::int64_t)im};
+    ref_in[(std::size_t)i] = {re, im};
+  }
+
+  // Double-precision reference spectrum with the same 1/2-per-stage
+  // scaling (overall 1/N).
+  std::vector<std::complex<double>> ref(kN);
+  for (int k = 0; k < kN; ++k) {
+    std::complex<double> acc = 0.0;
+    for (int n = 0; n < kN; ++n)
+      acc += ref_in[(std::size_t)n] *
+             std::exp(std::complex<double>(0, -2.0 * M_PI * k * n / kN));
+    ref[(std::size_t)k] = acc / (double)kN;
+  }
+
+  HwButterfly bf(design.op.nl);
+  util::Table table(
+      {"bits", "power [W]", "spectrum SNR [dB]", "peak bin ok"});
+  for (const int bits : ctrl.SupportedModes()) {
+    const auto knob = ctrl.Configure(bits);
+    bf.zeroed = kW - bits;
+    const std::vector<Cplx> spec = HwFft(bf, input);
+    std::vector<double> flat_ref, flat_out;
+    for (int k = 0; k < kN; ++k) {
+      flat_ref.push_back(ref[(std::size_t)k].real());
+      flat_ref.push_back(ref[(std::size_t)k].imag());
+      flat_out.push_back((double)spec[(std::size_t)k].re);
+      flat_out.push_back((double)spec[(std::size_t)k].im);
+    }
+    const core::ErrorStats err = core::CompareStreams(flat_ref, flat_out);
+    // Does the dominant tone still win the spectrum?
+    int argmax = 0;
+    double best = -1.0;
+    for (int k = 0; k < kN; ++k) {
+      const double mag = std::hypot((double)spec[(std::size_t)k].re,
+                                    (double)spec[(std::size_t)k].im);
+      if (mag > best) {
+        best = mag;
+        argmax = k;
+      }
+    }
+    table.AddRow({std::to_string(bits), util::Table::Sci(knob->power_w, 3),
+                  util::Table::Num(err.snr_db, 1),
+                  argmax == 5 ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf(
+      "reading: even the 8-bit mode keeps the dominant tone detectable "
+      "—\nan FFT front-end can scan in a low-power mode and escalate "
+      "accuracy\n(and power) only when something interesting appears.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+/// \file band_optimizer.h
+/// \brief Criticality-driven Vth-domain construction — the paper's
+/// stated future work ("the study of alternative Vth domains
+/// construction methods", Sec. V).
+///
+/// The regular grid ignores *which* accuracy modes make a cell
+/// critical; when a mode's critical cone straddles a cut line, both
+/// domains must be boosted. This module keeps the rectangular,
+/// guardband-friendly band structure but picks the horizontal cut
+/// positions from data:
+///
+///  1. AccuracyCriticality assigns every cell the smallest bitwidth at
+///     which it becomes timing-relevant (within a slack window of the
+///     critical path, at the FBB/nominal corner, with case analysis
+///     applied) — normalized to [0, 1]; cells that are never critical
+///     score above 1.
+///  2. OptimizeBandRows chooses contiguous row bands minimizing the
+///     *expected boosted leakage*: a band is forward-biased for every
+///     mode at least as wide as its most critical cell, so its cost
+///     is (cell weight) x (fraction of modes that need it). An exact
+///     1D dynamic program over row boundaries minimizes the total.
+
+#include <vector>
+
+#include "gen/operator.h"
+#include "place/placer.h"
+#include "place/wirelength.h"
+#include "tech/cell_library.h"
+
+namespace adq::core {
+
+/// Per-instance criticality score (index = instance id). `bitwidths`
+/// is the sample of accuracy modes probed (ascending); cells critical
+/// at bitwidths[k] score bitwidths[k]/data_width; never-critical
+/// cells score 1.25 (they can stay unboosted in every mode).
+std::vector<double> AccuracyCriticality(
+    const gen::Operator& op, const tech::CellLibrary& lib,
+    const place::NetLoads& loads, double clock_ns,
+    const std::vector<int>& bitwidths, double slack_window_ns);
+
+/// Optimal contiguous partition of the placement rows into `ny`
+/// bands (returns rows per band, bottom-up). Rows with no cells are
+/// neutral. Every band gets at least `min_rows` rows.
+std::vector<int> OptimizeBandRows(const netlist::Netlist& nl,
+                                  const place::Placement& pl,
+                                  const std::vector<double>& score,
+                                  int ny, int min_rows = 3);
+
+}  // namespace adq::core

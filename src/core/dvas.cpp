@@ -1,0 +1,14 @@
+#include "core/dvas.h"
+
+namespace adq::core {
+
+ExplorationResult ExploreDvas(const ImplementedDesign& design,
+                              const tech::CellLibrary& lib,
+                              DvasVariant variant, ExploreOptions opt) {
+  const int ndom = design.num_domains();
+  ADQ_CHECK(ndom >= 1 && ndom < 31);
+  opt.masks = {variant == DvasVariant::kFBB ? ((1u << ndom) - 1u) : 0u};
+  return ExploreDesignSpace(design, lib, opt);
+}
+
+}  // namespace adq::core

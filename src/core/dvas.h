@@ -1,0 +1,39 @@
+#pragma once
+/// \file dvas.h
+/// \brief DVAS baselines (Moons & Verhelst, ISLPED'15 — the paper's
+/// reference [14] and its only experimental comparison).
+///
+/// DVAS scales the *global* supply voltage and copes with the slower
+/// logic by reducing the input bitwidth — no per-domain bias control.
+/// Two variants appear in the paper's Fig. 5:
+///   * DVAS (NoBB): all cells at standard Vth. At the nominal clock it
+///     cannot reach full accuracy (the implementation was
+///     characterized in FBB).
+///   * DVAS (FBB): all cells forward-biased — fast but uniformly
+///     leaky; its Pareto curve is step-wise because the only timing
+///     knob is VDD.
+///
+/// Both are restricted explorations (a single global mask). They can
+/// be evaluated on two layouts:
+///   * the *same partitioned layout* as the proposed method — this
+///     isolates exactly what runtime bias assignment buys, with
+///     identical parasitics on both sides;
+///   * a dedicated unpartitioned layout (core::FlatView) — this also
+///     credits DVAS with the absence of guardbands, the way the
+///     paper implements its baseline. The difference between the two
+///     is the (small) delay/power cost of the guardbands themselves.
+
+#include "core/explore.h"
+
+namespace adq::core {
+
+enum class DvasVariant { kNoBB, kFBB };
+
+/// Runs the DVAS exploration on any ImplementedDesign: the mask set
+/// is restricted to the single uniform assignment of the variant.
+ExplorationResult ExploreDvas(const ImplementedDesign& design,
+                              const tech::CellLibrary& lib,
+                              DvasVariant variant,
+                              ExploreOptions opt = {});
+
+}  // namespace adq::core

@@ -1,0 +1,40 @@
+#include "core/error_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace adq::core {
+
+ErrorStats CompareStreams(const std::vector<double>& reference,
+                          const std::vector<double>& degraded) {
+  ADQ_CHECK(reference.size() == degraded.size());
+  ErrorStats st;
+  st.samples = reference.size();
+  if (reference.empty()) return st;
+  double sig_power = 0.0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double e = degraded[i] - reference[i];
+    st.mean_abs += std::abs(e);
+    st.mean_sq += e * e;
+    st.max_abs = std::max(st.max_abs, std::abs(e));
+    sig_power += reference[i] * reference[i];
+  }
+  const double n = static_cast<double>(reference.size());
+  st.mean_abs /= n;
+  st.mean_sq /= n;
+  const double err_power = st.mean_sq;
+  const double spn = sig_power / n;
+  st.snr_db = (err_power <= 0.0)
+                  ? 300.0  // error-free: report a saturated SNR
+                  : 10.0 * std::log10(std::max(spn, 1e-300) / err_power);
+  return st;
+}
+
+double ExpectedTruncationError(int zeroed_lsbs) {
+  ADQ_CHECK(zeroed_lsbs >= 0 && zeroed_lsbs < 63);
+  return (static_cast<double>(1ULL << zeroed_lsbs) - 1.0) / 2.0;
+}
+
+}  // namespace adq::core

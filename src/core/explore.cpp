@@ -1,0 +1,158 @@
+#include "core/explore.h"
+
+#include <algorithm>
+
+#include "core/accuracy.h"
+#include "sta/sta.h"
+
+namespace adq::core {
+
+using tech::BiasState;
+
+const ModeResult& ExplorationResult::Mode(int bitwidth) const {
+  for (const ModeResult& m : modes)
+    if (m.bitwidth == bitwidth) return m;
+  ADQ_CHECK_MSG(false, "bitwidth " << bitwidth << " was not explored");
+  static ModeResult dummy;
+  return dummy;
+}
+
+std::vector<BiasState> BiasVectorFor(const ImplementedDesign& design,
+                                     std::uint32_t mask) {
+  const std::vector<int>& dom = design.partition.domain_of;
+  std::vector<BiasState> bias(dom.size());
+  for (std::size_t i = 0; i < dom.size(); ++i)
+    bias[i] = ((mask >> dom[i]) & 1u) ? BiasState::kFBB : BiasState::kNoBB;
+  return bias;
+}
+
+ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
+                                     const tech::CellLibrary& lib,
+                                     const ExploreOptions& opt) {
+  const netlist::Netlist& nl = design.op.nl;
+  const int ndom = design.num_domains();
+  ADQ_CHECK_MSG(ndom <= 20, "2^" << ndom << " masks is beyond exhaustive");
+
+  std::vector<int> bitwidths = opt.bitwidths;
+  if (bitwidths.empty()) {
+    for (int b = 1; b <= design.op.spec.data_width; ++b)
+      bitwidths.push_back(b);
+  }
+  std::vector<std::uint32_t> masks = opt.masks;
+  if (masks.empty()) {
+    for (std::uint32_t m = 0; m < (1u << ndom); ++m) masks.push_back(m);
+  }
+
+  // Per-domain leakage weights: leakage of a mask is a ndom-term sum.
+  power::PowerModel pmodel(nl, lib, design.loads);
+  const std::vector<double> dom_weight =
+      pmodel.LeakWeightByDomain(design.partition.domain_of, ndom);
+
+  sta::TimingAnalyzer analyzer(nl, lib, design.loads);
+
+  // Monotonic pruning state: once (vdd, mask) fails at some bitwidth,
+  // it fails for every larger one (more active paths). Indexed
+  // [vdd][mask position].
+  std::vector<std::vector<bool>> dead(
+      opt.vdds.size(), std::vector<bool>(masks.size(), false));
+  std::sort(bitwidths.begin(), bitwidths.end());
+
+  ExplorationResult result;
+  std::vector<BiasState> bias(nl.num_instances());
+
+  for (const int bw : bitwidths) {
+    const netlist::CaseAnalysis ca(nl, ForcedZeros(design.op, bw));
+    const sim::ActivityProfile act =
+        sim::ExtractActivity(design.op, ZeroedLsbs(design.op, bw),
+                             opt.activity_cycles, opt.seed, opt.stimulus);
+    const double energy_fj = pmodel.SwitchedEnergyPerCycleFj(act);
+
+    ModeResult mode;
+    mode.bitwidth = bw;
+    mode.switched_energy_fj = energy_fj;
+
+    for (std::size_t vi = 0; vi < opt.vdds.size(); ++vi) {
+      const double vdd = opt.vdds[vi];
+      const double dyn_w =
+          power::PowerModel::DynamicW(energy_fj, vdd, design.fclk_ghz());
+      for (std::size_t mi = 0; mi < masks.size(); ++mi) {
+        ++result.stats.points_considered;
+        if (opt.monotonic_pruning && dead[vi][mi]) {
+          ++result.stats.filtered;  // outcome implied by smaller bw
+          continue;
+        }
+        const std::uint32_t mask = masks[mi];
+        for (std::uint32_t i = 0; i < nl.num_instances(); ++i)
+          bias[i] = ((mask >> design.partition.domain_of[i]) & 1u)
+                        ? BiasState::kFBB
+                        : BiasState::kNoBB;
+        ++result.stats.sta_runs;
+        const sta::TimingReport rep =
+            analyzer.Analyze(vdd, design.clock_ns, bias, &ca);
+        if (!rep.feasible()) {
+          ++result.stats.filtered;
+          dead[vi][mi] = true;
+          if (opt.keep_all_points) {
+            ExploredPoint p;
+            p.bitwidth = bw;
+            p.vdd = vdd;
+            p.mask = mask;
+            p.feasible = false;
+            p.wns_ns = rep.wns_ns;
+            result.all_points.push_back(p);
+          }
+          continue;
+        }
+        ++result.stats.feasible;
+        double leak_w = 0.0;
+        for (int d = 0; d < ndom; ++d)
+          leak_w += pmodel.DomainLeakageW(
+              dom_weight[static_cast<std::size_t>(d)], vdd,
+              ((mask >> d) & 1u) ? BiasState::kFBB : BiasState::kNoBB);
+        ExploredPoint p;
+        p.bitwidth = bw;
+        p.vdd = vdd;
+        p.mask = mask;
+        p.feasible = true;
+        p.wns_ns = rep.wns_ns;
+        p.power.dynamic_w = dyn_w;
+        p.power.leakage_w = leak_w;
+        if (!mode.has_solution ||
+            p.total_power_w() < mode.best.total_power_w()) {
+          mode.has_solution = true;
+          mode.best = p;
+        }
+        if (opt.keep_all_points) result.all_points.push_back(p);
+      }
+    }
+
+    // --- Optional RBB sleep post-pass on the mode's best point.
+    if (opt.enable_rbb_sleep && mode.has_solution) {
+      ExploredPoint& best = mode.best;
+      auto rebuild_bias = [&]() {
+        for (std::uint32_t i = 0; i < nl.num_instances(); ++i)
+          bias[i] = best.DomainState(design.partition.domain_of[i]);
+      };
+      for (int d = 0; d < ndom; ++d) {
+        if ((best.mask >> d) & 1u) continue;  // boosted domains stay
+        best.rbb_mask |= 1u << d;
+        rebuild_bias();
+        ++result.stats.sta_runs;
+        const sta::TimingReport rep =
+            analyzer.Analyze(best.vdd, design.clock_ns, bias, &ca);
+        if (!rep.feasible()) best.rbb_mask &= ~(1u << d);
+      }
+      double leak_w = 0.0;
+      for (int d = 0; d < ndom; ++d)
+        leak_w += pmodel.DomainLeakageW(
+            dom_weight[static_cast<std::size_t>(d)], best.vdd,
+            best.DomainState(d));
+      best.power.leakage_w = leak_w;
+    }
+
+    result.modes.push_back(mode);
+  }
+  return result;
+}
+
+}  // namespace adq::core

@@ -1,0 +1,110 @@
+#pragma once
+/// \file explore.h
+/// \brief Exhaustive design-space exploration (paper Fig. 4, blue
+/// phase; Sec. III-C).
+///
+/// For every combination of (i) back-bias assignment to the NMAX
+/// domains (2^NMAX masks), (ii) input bitwidth, and (iii) global VDD,
+/// the design is checked by STA — points with violations are
+/// discarded (the paper reports ~75% filtered) — and surviving points
+/// are analyzed for power (leakage + activity-annotated dynamic).
+/// The minimum-power configuration per bitwidth is the output: the
+/// table a runtime controller uses to switch accuracy modes.
+///
+/// Complexity is O(2^NMAX * B * NVDD) points, as in the paper; two
+/// exact accelerations are applied: per-condition delay scaling is
+/// two global multipliers (see sta.h), and infeasibility is monotone
+/// in bitwidth (activating more input bits only adds timing paths),
+/// so a (VDD, mask) pair that fails at bitwidth b is skipped — and
+/// counted as filtered — for larger bitwidths.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flow.h"
+#include "power/power.h"
+#include "sim/activity.h"
+
+namespace adq::core {
+
+/// One explored operating point. `mask` bit d = 1 means domain d is
+/// forward back-biased (FBB); 0 means NoBB — unless the same bit is
+/// set in `rbb_mask`, in which case the domain sleeps in reverse
+/// back-bias (optional post-pass; see ExploreOptions).
+struct ExploredPoint {
+  int bitwidth = 0;
+  double vdd = 0.0;
+  std::uint32_t mask = 0;
+  std::uint32_t rbb_mask = 0;
+  bool feasible = false;
+  double wns_ns = 0.0;
+  power::PowerBreakdown power;
+
+  double total_power_w() const { return power.total_w(); }
+
+  tech::BiasState DomainState(int d) const {
+    if ((mask >> d) & 1u) return tech::BiasState::kFBB;
+    if ((rbb_mask >> d) & 1u) return tech::BiasState::kRBB;
+    return tech::BiasState::kNoBB;
+  }
+};
+
+/// Best configuration found for one accuracy mode.
+struct ModeResult {
+  int bitwidth = 0;
+  bool has_solution = false;
+  ExploredPoint best;
+  double switched_energy_fj = 0.0;  ///< per cycle at 1 V, this mode
+};
+
+struct ExplorationStats {
+  long points_considered = 0;  ///< full O(2^NMAX * B * NVDD) count
+  long sta_runs = 0;           ///< STA actually executed
+  long filtered = 0;           ///< discarded by the STA filter
+  long feasible = 0;
+
+  double FilterRate() const {
+    return points_considered == 0
+               ? 0.0
+               : static_cast<double>(filtered) / points_considered;
+  }
+};
+
+struct ExplorationResult {
+  std::vector<ModeResult> modes;  ///< one per requested bitwidth
+  ExplorationStats stats;
+  std::vector<ExploredPoint> all_points;  ///< if keep_all_points
+
+  const ModeResult& Mode(int bitwidth) const;
+};
+
+struct ExploreOptions {
+  /// Supply range: paper Sec. IV-B uses 1.0 .. 0.6 V in 0.1 V steps.
+  std::vector<double> vdds = {1.0, 0.9, 0.8, 0.7, 0.6};
+  /// Accuracy modes (active bits); empty = 1 .. data_width.
+  std::vector<int> bitwidths;
+  /// BB masks to consider; empty = all 2^NMAX (the paper's method).
+  /// DVAS baselines restrict this to all-NoBB {0} or all-FBB.
+  std::vector<std::uint32_t> masks;
+  int activity_cycles = 1024;
+  std::uint64_t seed = 7;
+  sim::StimulusKind stimulus = sim::StimulusKind::kCorrelated;
+  bool monotonic_pruning = true;
+  bool keep_all_points = false;
+  /// RBB sleep post-pass (extension beyond the paper's 2-state
+  /// exploration): after the best (VDD, FBB mask) is found for a
+  /// mode, domains still at NoBB are greedily demoted to reverse
+  /// back-bias where STA stays feasible — an order-of-magnitude
+  /// leakage cut for logic that the accuracy mode disabled.
+  bool enable_rbb_sleep = false;
+};
+
+ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
+                                     const tech::CellLibrary& lib,
+                                     const ExploreOptions& opt = {});
+
+/// Expands a domain mask into a per-instance bias vector.
+std::vector<tech::BiasState> BiasVectorFor(const ImplementedDesign& design,
+                                           std::uint32_t mask);
+
+}  // namespace adq::core

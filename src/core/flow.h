@@ -1,0 +1,78 @@
+#pragma once
+/// \file flow.h
+/// \brief The automated implementation flow of the paper (Fig. 4,
+/// green phase): synthesis-like sizing -> placement -> Vth-domain
+/// grid insertion -> incremental placement -> parasitic extraction,
+/// all at the FBB characterization corner and nominal VDD.
+///
+/// The result (an ImplementedDesign) is the physical artifact the
+/// optimization phase (explore.h) analyzes: a sized netlist, its
+/// final placement with domain assignment, and extracted loads.
+/// A 1x1 grid degenerates to the plain (DVAS-comparable)
+/// implementation: no guardbands, a single bias domain.
+
+#include "gen/operator.h"
+#include "opt/buffering.h"
+#include "opt/sizing.h"
+#include "place/grid_partition.h"
+#include "place/placer.h"
+#include "place/wirelength.h"
+#include "tech/cell_library.h"
+
+namespace adq::core {
+
+/// How the Vth-domain shapes are constructed.
+enum class DomainStrategy {
+  kRegularGrid,        ///< the paper's method: equal rectangular tiles
+  kCriticalityBands,   ///< future-work extension: band cut lines chosen
+                       ///< from the per-cell accuracy-criticality
+                       ///< profile (see band_optimizer.h)
+};
+
+struct FlowOptions {
+  place::GridConfig grid{1, 1};
+  DomainStrategy strategy = DomainStrategy::kRegularGrid;
+  double utilization = 0.55;
+  double guardband_um = 3.5;   // paper Sec. II-C
+  std::uint64_t seed = 1;
+  /// Overrides the operator's nominal clock when > 0.
+  double clock_ns = 0.0;
+  /// Corner used for implementation (the paper characterizes all
+  /// cells in FBB during the first P&R, Sec. IV-A).
+  tech::BiasState corner = tech::BiasState::kFBB;
+};
+
+struct ImplementedDesign {
+  gen::Operator op;                 ///< netlist with final sizing
+  double clock_ns = 0.0;            ///< implementation clock
+  place::Placement placement;       ///< post-partition placement
+  place::GridPartition partition;   ///< grid + cell->domain map
+  place::NetLoads loads;            ///< extracted from final placement
+  opt::SizingResult sizing;         ///< synthesis + ECO statistics
+  bool timing_met = false;          ///< at corner, nominal VDD
+
+  /// Pre-partition ("flat") view of the same sized netlist: the
+  /// placement and parasitics before guardband insertion. DVAS
+  /// baselines are evaluated on this view, so the comparison against
+  /// the proposed method isolates exactly the methodology's knobs
+  /// (domains + bias) plus the guardband overhead — not incidental
+  /// differences in synthesis/sizing outcomes.
+  place::Placement flat_placement;
+  place::NetLoads flat_loads;
+
+  double fclk_ghz() const { return 1.0 / clock_ns; }
+  int num_domains() const { return partition.num_domains(); }
+};
+
+/// Runs the full flow on (a copy of) the operator.
+ImplementedDesign RunImplementationFlow(gen::Operator op,
+                                        const tech::CellLibrary& lib,
+                                        const FlowOptions& opt = {});
+
+/// Re-packages the pre-partition view of `d` as a single-domain
+/// ImplementedDesign (netlist copied; trivial 1x1 partition), suitable
+/// for the DVAS baseline explorations.
+ImplementedDesign FlatView(const ImplementedDesign& d,
+                           const tech::CellLibrary& lib);
+
+}  // namespace adq::core

@@ -1,0 +1,52 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+
+namespace adq::core {
+
+std::vector<ParetoPoint> Frontier(const ExplorationResult& result) {
+  std::vector<ParetoPoint> out;
+  for (const ModeResult& m : result.modes) {
+    if (!m.has_solution) continue;
+    out.push_back(ParetoPoint{m.bitwidth, m.best.total_power_w(),
+                              m.best.mask, m.best.vdd});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.bitwidth < b.bitwidth;
+            });
+  return out;
+}
+
+std::vector<ParetoPoint> RemoveDominated(std::vector<ParetoPoint> points) {
+  std::vector<ParetoPoint> out;
+  for (const ParetoPoint& p : points) {
+    const bool dominated = std::any_of(
+        points.begin(), points.end(), [&](const ParetoPoint& q) {
+          const bool geq = q.bitwidth >= p.bitwidth && q.power_w <= p.power_w;
+          const bool strict =
+              q.bitwidth > p.bitwidth || q.power_w < p.power_w;
+          return geq && strict;
+        });
+    if (!dominated) out.push_back(p);
+  }
+  return out;
+}
+
+std::optional<double> PowerAt(const std::vector<ParetoPoint>& frontier,
+                              int bitwidth) {
+  for (const ParetoPoint& p : frontier)
+    if (p.bitwidth == bitwidth) return p.power_w;
+  return std::nullopt;
+}
+
+std::optional<double> SavingAt(const std::vector<ParetoPoint>& ours,
+                               const std::vector<ParetoPoint>& baseline,
+                               int bitwidth) {
+  const auto a = PowerAt(ours, bitwidth);
+  const auto b = PowerAt(baseline, bitwidth);
+  if (!a || !b || *b <= 0.0) return std::nullopt;
+  return (*b - *a) / *b;
+}
+
+}  // namespace adq::core

@@ -1,0 +1,45 @@
+#pragma once
+/// \file pareto.h
+/// \brief Pareto-frontier utilities over (accuracy, power) points.
+///
+/// The curves of the paper's Fig. 5 are Pareto frontiers: for each
+/// bitwidth the minimum-power feasible configuration. These helpers
+/// extract the frontier and compute iso-accuracy savings between two
+/// frontiers (the paper's headline numbers: -32.67% Booth @10b,
+/// -39.92% FIR @10b, -16.5% butterfly @8b vs DVAS).
+
+#include <optional>
+#include <vector>
+
+#include "core/explore.h"
+
+namespace adq::core {
+
+/// A point on the accuracy/power plane.
+struct ParetoPoint {
+  int bitwidth = 0;
+  double power_w = 0.0;
+  std::uint32_t mask = 0;
+  double vdd = 0.0;
+};
+
+/// Extracts the frontier of an exploration: one point per bitwidth
+/// that has a solution (minimum power at that accuracy).
+std::vector<ParetoPoint> Frontier(const ExplorationResult& result);
+
+/// Filters (accuracy up, power down) dominated points: keeps points
+/// for which no other point has >= bitwidth and <= power (with at
+/// least one strict).
+std::vector<ParetoPoint> RemoveDominated(std::vector<ParetoPoint> points);
+
+/// Power of the frontier at exactly `bitwidth`, if present.
+std::optional<double> PowerAt(const std::vector<ParetoPoint>& frontier,
+                              int bitwidth);
+
+/// Iso-accuracy saving of `ours` vs `baseline` at `bitwidth`:
+/// (P_base - P_ours) / P_base. Empty if either side lacks the mode.
+std::optional<double> SavingAt(const std::vector<ParetoPoint>& ours,
+                               const std::vector<ParetoPoint>& baseline,
+                               int bitwidth);
+
+}  // namespace adq::core

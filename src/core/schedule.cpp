@@ -1,0 +1,46 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+namespace adq::core {
+
+namespace {
+
+/// Nearest configured mode with bitwidth >= requested.
+std::optional<KnobSetting> CoveringMode(const RuntimeController& ctrl,
+                                        int bitwidth) {
+  std::optional<KnobSetting> best;
+  for (const int m : ctrl.SupportedModes()) {
+    if (m < bitwidth) continue;
+    if (!best || m < best->bitwidth) best = ctrl.Configure(m);
+  }
+  return best;
+}
+
+}  // namespace
+
+ScheduleEnergy EvaluateSchedule(const RuntimeController& ctrl,
+                                const std::vector<SchedulePhase>& phases,
+                                double clock_ns) {
+  ADQ_CHECK(clock_ns > 0.0);
+  ScheduleEnergy e;
+  std::optional<KnobSetting> prev;
+  for (const SchedulePhase& ph : phases) {
+    const auto knob = CoveringMode(ctrl, ph.bitwidth);
+    if (!knob) {
+      e.all_modes_available = false;
+      continue;
+    }
+    e.compute_j +=
+        knob->power_w * (double)ph.cycles * clock_ns * 1e-9;
+    if (prev && prev->bitwidth != knob->bitwidth) {
+      e.switching_j +=
+          ctrl.SwitchEnergyFj(prev->bitwidth, knob->bitwidth) * 1e-15;
+      ++e.switches;
+    }
+    prev = knob;
+  }
+  return e;
+}
+
+}  // namespace adq::core

@@ -1,0 +1,42 @@
+#pragma once
+/// \file schedule.h
+/// \brief Energy accounting of a runtime accuracy schedule.
+///
+/// The paper leaves accuracy *selection* to the application ("the
+/// selection of the optimal accuracy is determined at application
+/// level"). This helper closes the loop for system studies: given a
+/// sequence of (accuracy mode, duration) phases — e.g. an audio
+/// pipeline toggling between foreground and background quality — it
+/// sums the per-phase operator energy from the controller's mode
+/// table plus the well-recharge energy of every mode switch, and
+/// reports what fraction of the always-full-accuracy energy the
+/// schedule consumes.
+
+#include <vector>
+
+#include "core/controller.h"
+
+namespace adq::core {
+
+struct SchedulePhase {
+  int bitwidth = 0;
+  std::uint64_t cycles = 0;
+};
+
+struct ScheduleEnergy {
+  double compute_j = 0.0;    ///< sum of per-phase power x time
+  double switching_j = 0.0;  ///< well recharge on mode changes
+  int switches = 0;
+  bool all_modes_available = true;
+  double total_j() const { return compute_j + switching_j; }
+};
+
+/// Evaluates a schedule against the controller's mode table.
+/// Phases whose mode has no configuration are charged at the nearest
+/// *higher* configured accuracy (the runtime must not under-deliver);
+/// if none exists, all_modes_available is cleared.
+ScheduleEnergy EvaluateSchedule(const RuntimeController& ctrl,
+                                const std::vector<SchedulePhase>& phases,
+                                double clock_ns);
+
+}  // namespace adq::core

@@ -1,0 +1,82 @@
+#pragma once
+/// \file vdd_islands.h
+/// \brief The alternative the paper argues *against*: per-domain
+/// supply-voltage islands with level shifters (Sec. III).
+///
+/// "One possible solution to selectively tune the delay of different
+/// parts of the circuit would be to partition it in multiple
+/// independent supply voltage islands. However, due to the large
+/// overheads, this solution is only feasible at the SoC-level ... in
+/// particular, the insertion of level shifters between domains would
+/// have a relevant impact on power consumption."
+///
+/// This module makes that argument quantitative on the same
+/// partitioned operator: the tiles become two-level VDD islands
+/// (clustered voltage scaling, the paper's ref [20]); every
+/// domain-crossing arc carries a *statically inserted* level shifter
+/// (required hardware no matter which runtime assignment is active),
+/// which costs delay on the crossing paths and switching + leakage
+/// power always. The exploration then mirrors the back-bias one:
+/// (island mask, low VDD, bitwidth), minimum power per accuracy mode.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flow.h"
+#include "sim/activity.h"
+
+namespace adq::core {
+
+struct LevelShifterModel {
+  double delay_ns = 0.030;   ///< at the reference corner (scales w/ VDD)
+  double cap_in_ff = 1.5;    ///< input pin load on the crossing net
+  double e_int_fj = 1.5;     ///< switching energy per toggle at 1 V
+  double leak_weight = 2.5;  ///< static leakage weight (always on)
+};
+
+struct VddIslandPoint {
+  int bitwidth = 0;
+  double low_vdd = 0.0;
+  std::uint32_t low_mask = 0;  ///< bit d: domain d on the low rail
+  bool feasible = false;
+  double dynamic_w = 0.0;
+  double leakage_w = 0.0;
+  double shifter_w = 0.0;      ///< level-shifter switching + leakage
+  double total_power_w() const { return dynamic_w + leakage_w + shifter_w; }
+};
+
+struct VddIslandMode {
+  int bitwidth = 0;
+  bool has_solution = false;
+  VddIslandPoint best;
+};
+
+struct VddIslandResult {
+  std::vector<VddIslandMode> modes;
+  int num_level_shifters = 0;
+  long points_considered = 0;
+  long filtered = 0;
+};
+
+struct VddIslandOptions {
+  double high_vdd = 1.0;
+  std::vector<double> low_vdds = {0.9, 0.8, 0.7, 0.6};
+  std::vector<int> bitwidths;  ///< empty = 1 .. data_width
+  int activity_cycles = 1024;
+  std::uint64_t seed = 7;
+  sim::StimulusKind stimulus = sim::StimulusKind::kCorrelated;
+  LevelShifterModel shifter;
+};
+
+/// Explores the two-rail island design space on `design`'s partition.
+/// All cells sit at the FBB (fast) corner — islands replace the bias
+/// knob, they do not stack with it.
+VddIslandResult ExploreVddIslands(const ImplementedDesign& design,
+                                  const tech::CellLibrary& lib,
+                                  const VddIslandOptions& opt = {});
+
+/// Number of level shifters the island hardware needs (one per
+/// net x foreign-sink-domain pair).
+int CountLevelShifters(const ImplementedDesign& design);
+
+}  // namespace adq::core

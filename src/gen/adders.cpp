@@ -1,0 +1,142 @@
+#include "gen/adders.h"
+
+#include <algorithm>
+
+namespace adq::gen {
+
+using netlist::NetId;
+using tech::CellKind;
+
+AdderResult RippleCarryAdder(netlist::Netlist& nl, const Word& a,
+                             const Word& b, NetId cin) {
+  ADQ_CHECK(a.size() == b.size() && !a.empty());
+  AdderResult r;
+  r.sum.reserve(a.size());
+  NetId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto outs =
+        nl.AddCell(CellKind::kFa, tech::DriveStrength::kX1, {a[i], b[i], carry});
+    r.sum.push_back(outs[0]);
+    carry = outs[1];
+  }
+  r.carry = carry;
+  return r;
+}
+
+AdderResult CarryLookaheadAdder(netlist::Netlist& nl, const Word& a,
+                                const Word& b, NetId cin) {
+  ADQ_CHECK(a.size() == b.size() && !a.empty());
+  const int w = Width(a);
+  // Per-bit propagate / generate.
+  Word p(w), g(w);
+  for (int i = 0; i < w; ++i) {
+    p[i] = nl.AddGate(CellKind::kXor2, {a[i], b[i]});
+    g[i] = nl.AddGate(CellKind::kAnd2, {a[i], b[i]});
+  }
+
+  // True group lookahead over 4-bit blocks: each block computes its
+  // group generate/propagate in parallel (constant depth); the group
+  // carry ripples block to block (2 gate levels per block). The
+  // *active* length of that ripple chain tracks the lowest
+  // non-constant column, which is what couples delay to the DVAS
+  // bitwidth knob.
+  auto carry_step = [&](NetId gen, NetId prop, NetId c) {
+    const NetId pc = nl.AddGate(CellKind::kAnd2, {prop, c});
+    return nl.AddGate(CellKind::kOr2, {gen, pc});
+  };
+
+  Word carry(w + 1);
+  carry[0] = cin;
+  for (int base = 0; base < w; base += 4) {
+    const int n = std::min(4, w - base);
+    // Cumulative generate/propagate across the block prefix:
+    // G[k] = carry generated out of bits [base .. base+k],
+    // P[k] = propagate across them. Built as a short gate chain that
+    // is independent of the incoming carry (so it evaluates in
+    // parallel with the preceding blocks).
+    std::vector<NetId> G(n), P(n);
+    G[0] = g[base];
+    P[0] = p[base];
+    for (int k = 1; k < n; ++k) {
+      const int i = base + k;
+      const NetId pg = nl.AddGate(CellKind::kAnd2, {p[i], G[k - 1]});
+      G[k] = nl.AddGate(CellKind::kOr2, {g[i], pg});
+      P[k] = nl.AddGate(CellKind::kAnd2, {p[i], P[k - 1]});
+    }
+    // Carries inside the block: c[base+k+1] = G[k] | P[k] & c[base].
+    for (int k = 0; k < n; ++k)
+      carry[base + k + 1] = carry_step(G[k], P[k], carry[base]);
+  }
+
+  AdderResult r;
+  r.sum.reserve(w);
+  for (int i = 0; i < w; ++i)
+    r.sum.push_back(nl.AddGate(CellKind::kXor2, {p[i], carry[i]}));
+  r.carry = carry[w];
+  return r;
+}
+
+AdderResult KoggeStoneAdder(netlist::Netlist& nl, const Word& a,
+                            const Word& b, NetId cin) {
+  ADQ_CHECK(a.size() == b.size() && !a.empty());
+  const int w = Width(a);
+  Word p(w), g(w);
+  for (int i = 0; i < w; ++i) {
+    p[i] = nl.AddGate(CellKind::kXor2, {a[i], b[i]});
+    g[i] = nl.AddGate(CellKind::kAnd2, {a[i], b[i]});
+  }
+  // Prefix tree over (G, P) spans: after the last level, G[i] is the
+  // carry generated out of bits [0..i] ignoring cin, P[i] the
+  // propagate across [0..i].
+  Word G = g, P = p;
+  for (int dist = 1; dist < w; dist <<= 1) {
+    Word Gn = G, Pn = P;
+    for (int i = dist; i < w; ++i) {
+      // (G,P)_i = (G_i | P_i & G_{i-dist},  P_i & P_{i-dist})
+      const NetId t = nl.AddGate(CellKind::kAnd2, {P[i], G[i - dist]});
+      Gn[i] = nl.AddGate(CellKind::kOr2, {G[i], t});
+      Pn[i] = nl.AddGate(CellKind::kAnd2, {P[i], P[i - dist]});
+    }
+    G = std::move(Gn);
+    P = std::move(Pn);
+  }
+  // carry into bit i: c_i = G[i-1] | (P[i-1] & cin); c_0 = cin.
+  AdderResult r;
+  r.sum.reserve(w);
+  r.sum.push_back(nl.AddGate(CellKind::kXor2, {p[0], cin}));
+  for (int i = 1; i < w; ++i) {
+    const NetId pc = nl.AddGate(CellKind::kAnd2, {P[i - 1], cin});
+    const NetId ci = nl.AddGate(CellKind::kOr2, {G[i - 1], pc});
+    r.sum.push_back(nl.AddGate(CellKind::kXor2, {p[i], ci}));
+  }
+  const NetId pcw = nl.AddGate(CellKind::kAnd2, {P[w - 1], cin});
+  r.carry = nl.AddGate(CellKind::kOr2, {G[w - 1], pcw});
+  return r;
+}
+
+AdderResult MakeAdder(netlist::Netlist& nl, const Word& a, const Word& b,
+                      netlist::NetId cin, AdderStyle style) {
+  switch (style) {
+    case AdderStyle::kRipple: return RippleCarryAdder(nl, a, b, cin);
+    case AdderStyle::kCla: return CarryLookaheadAdder(nl, a, b, cin);
+    case AdderStyle::kKoggeStone: return KoggeStoneAdder(nl, a, b, cin);
+  }
+  ADQ_CHECK_MSG(false, "bad adder style");
+  return {};
+}
+
+Word AddSigned(netlist::Netlist& nl, const Word& a, const Word& b,
+               int width, AdderStyle style) {
+  const Word ae = SignExtend(a, width);
+  const Word be = SignExtend(b, width);
+  return MakeAdder(nl, ae, be, nl.ConstNet(false), style).sum;
+}
+
+Word SubSigned(netlist::Netlist& nl, const Word& a, const Word& b,
+               int width, AdderStyle style) {
+  const Word ae = SignExtend(a, width);
+  const Word bn = Not(nl, SignExtend(b, width));
+  return MakeAdder(nl, ae, bn, nl.ConstNet(true), style).sum;
+}
+
+}  // namespace adq::gen

@@ -1,0 +1,52 @@
+#pragma once
+/// \file adders.h
+/// \brief Adder generators: ripple-carry, carry-lookahead (4-bit
+/// groups) and Kogge-Stone parallel-prefix.
+///
+/// The ripple adder is the cheapest and slowest (used inside small
+/// substrates and as a golden structural reference); Kogge-Stone is
+/// the fast final adder of the multipliers. All are two's-complement
+/// and return `width` sum bits plus carry-out.
+
+#include "gen/words.h"
+
+namespace adq::gen {
+
+struct AdderResult {
+  Word sum;              ///< width == max input width
+  netlist::NetId carry;  ///< carry out of the MSB position
+};
+
+/// Classic full-adder chain. a and b must have equal width.
+AdderResult RippleCarryAdder(netlist::Netlist& nl, const Word& a,
+                             const Word& b, netlist::NetId cin);
+
+/// 4-bit-group carry-lookahead adder.
+AdderResult CarryLookaheadAdder(netlist::Netlist& nl, const Word& a,
+                                const Word& b, netlist::NetId cin);
+
+/// Kogge-Stone parallel-prefix adder (log-depth carries).
+AdderResult KoggeStoneAdder(netlist::Netlist& nl, const Word& a,
+                            const Word& b, netlist::NetId cin);
+
+/// Carry-propagate architecture selector for the word-level helpers.
+/// Ripple and group-CLA adders have carry chains whose active length
+/// tracks the lowest non-constant column — they respond strongly to
+/// the DVAS bitwidth knob; Kogge-Stone is log-depth and responds
+/// weakly (the paper's butterfly, built from balanced adders, shows
+/// exactly this weaker wall-of-slack behaviour).
+enum class AdderStyle { kRipple, kCla, kKoggeStone };
+
+AdderResult MakeAdder(netlist::Netlist& nl, const Word& a, const Word& b,
+                      netlist::NetId cin, AdderStyle style);
+
+/// a + b with both operands sign-extended to `width` bits; result is
+/// `width` bits (no carry out).
+Word AddSigned(netlist::Netlist& nl, const Word& a, const Word& b,
+               int width, AdderStyle style = AdderStyle::kKoggeStone);
+
+/// a - b (two's complement: a + ~b + 1), sign-extended to `width`.
+Word SubSigned(netlist::Netlist& nl, const Word& a, const Word& b,
+               int width, AdderStyle style = AdderStyle::kKoggeStone);
+
+}  // namespace adq::gen

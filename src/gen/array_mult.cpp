@@ -1,0 +1,62 @@
+#include "gen/array_mult.h"
+
+#include "gen/adders.h"
+#include "gen/wallace.h"
+
+namespace adq::gen {
+
+using netlist::NetId;
+using tech::CellKind;
+
+Word ArrayMultiplyUnsigned(netlist::Netlist& nl, const Word& a,
+                           const Word& b) {
+  ADQ_CHECK(!a.empty() && !b.empty());
+  const int out_w = Width(a) + Width(b);
+  BitMatrix m;
+  for (int j = 0; j < Width(b); ++j) {
+    Word row;
+    row.reserve(a.size());
+    for (int i = 0; i < Width(a); ++i)
+      row.push_back(nl.AddGate(
+          CellKind::kAnd2,
+          {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(j)]}));
+    AddRow(m, row, j);
+  }
+  TwoRows rows = ReduceToTwo(nl, std::move(m));
+  const Word sa = ZeroExtend(nl, rows.a, out_w);
+  const Word sb = ZeroExtend(nl, rows.b, out_w);
+  Word p = KoggeStoneAdder(nl, sa, sb, nl.ConstNet(false)).sum;
+  p.resize(out_w);
+  return p;
+}
+
+Word BaughWooleyMultiplySigned(netlist::Netlist& nl, const Word& a,
+                               const Word& b) {
+  ADQ_CHECK(a.size() == b.size() && a.size() >= 2);
+  const int w = Width(a);
+  const int out_w = 2 * w;
+  BitMatrix m;
+  for (int j = 0; j < w; ++j) {
+    for (int i = 0; i < w; ++i) {
+      // Cross terms involving exactly one sign bit are inverted.
+      const bool invert = (i == w - 1) != (j == w - 1);
+      const NetId pp = nl.AddGate(
+          invert ? CellKind::kNand2 : CellKind::kAnd2,
+          {a[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(j)]});
+      AddBit(m, pp, i + j);
+    }
+  }
+  // Baugh-Wooley correction: + 2^w + 2^(2w-1).
+  AddBit(m, nl.ConstNet(true), w);
+  AddBit(m, nl.ConstNet(true), 2 * w - 1);
+  if (m.size() > static_cast<std::size_t>(out_w)) m.resize(out_w);
+
+  TwoRows rows = ReduceToTwo(nl, std::move(m));
+  const Word sa = ZeroExtend(nl, rows.a, out_w);
+  const Word sb = ZeroExtend(nl, rows.b, out_w);
+  Word p = KoggeStoneAdder(nl, sa, sb, nl.ConstNet(false)).sum;
+  p.resize(out_w);
+  return p;
+}
+
+}  // namespace adq::gen

@@ -1,0 +1,24 @@
+#pragma once
+/// \file array_mult.h
+/// \brief Array multipliers: unsigned AND-matrix and signed
+/// Baugh-Wooley variants.
+///
+/// These serve as (i) golden structural references for testing the
+/// compressor/adder substrates, and (ii) the architecture targeted by
+/// several related works the paper discusses ([10], [13] are specific
+/// to array multipliers) — useful for comparison studies.
+
+#include "gen/words.h"
+
+namespace adq::gen {
+
+/// Unsigned product; result has Width(a) + Width(b) bits.
+Word ArrayMultiplyUnsigned(netlist::Netlist& nl, const Word& a,
+                           const Word& b);
+
+/// Signed (two's complement) product via the Baugh-Wooley
+/// reformulation; requires equal widths; result has 2*Width(a) bits.
+Word BaughWooleyMultiplySigned(netlist::Netlist& nl, const Word& a,
+                               const Word& b);
+
+}  // namespace adq::gen

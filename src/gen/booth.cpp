@@ -1,0 +1,75 @@
+#include "gen/booth.h"
+
+#include "gen/adders.h"
+#include "gen/wallace.h"
+
+namespace adq::gen {
+
+using netlist::NetId;
+using tech::CellKind;
+
+Word BoothMultiplySigned(netlist::Netlist& nl, const Word& a,
+                         const Word& b) {
+  const int wa = Width(a);
+  const int wb = Width(b);
+  ADQ_CHECK_MSG(wa >= 2, "multiplicand too narrow");
+  ADQ_CHECK_MSG(wb >= 2 && wb % 2 == 0,
+                "radix-4 Booth needs an even multiplier width, got " << wb);
+  const int out_w = wa + wb;
+  const int rows = wb / 2;
+
+  // Each recoded row selects {0, x, 2x} over a (wa+2)-bit sign
+  // extension of the multiplicand: bit wa+1 covers the sign of 2x.
+  const Word xe = SignExtend(a, wa + 2);
+  const NetId c0 = nl.ConstNet(false);
+
+  BitMatrix m;
+  for (int j = 0; j < rows; ++j) {
+    const NetId y0 = b[static_cast<std::size_t>(2 * j)];
+    const NetId y1 = b[static_cast<std::size_t>(2 * j + 1)];
+    const NetId ym1 = (j == 0) ? c0 : b[static_cast<std::size_t>(2 * j - 1)];
+
+    // Radix-4 recoding: one selects +/-x, two selects +/-2x, neg is
+    // the sign. (one, two) are mutually exclusive by construction.
+    const NetId one = nl.AddGate(CellKind::kXor2, {y0, ym1});
+    const NetId two_t = nl.AddGate(CellKind::kXor2, {y1, y0});
+    const NetId n_one = nl.AddGate(CellKind::kInv, {one});
+    const NetId two = nl.AddGate(CellKind::kAnd2, {two_t, n_one});
+    const NetId neg = y1;
+
+    // pp_i = neg XOR ((one & xe_i) | (two & xe_{i-1})); NAND-NAND form.
+    Word pp;
+    pp.reserve(static_cast<std::size_t>(wa) + 2);
+    for (int i = 0; i < wa + 2; ++i) {
+      const NetId xi = xe[static_cast<std::size_t>(i)];
+      const NetId xim1 = (i == 0) ? c0 : xe[static_cast<std::size_t>(i - 1)];
+      const NetId n1 = nl.AddGate(CellKind::kNand2, {one, xi});
+      const NetId n2 = nl.AddGate(CellKind::kNand2, {two, xim1});
+      const NetId sel = nl.AddGate(CellKind::kNand2, {n1, n2});
+      pp.push_back(nl.AddGate(CellKind::kXor2, {sel, neg}));
+    }
+    // Sign-extend the row net-wise to the product width and place it
+    // at weight 2^(2j); the +neg correction completes the negation.
+    const int ext = out_w - (2 * j + wa + 2);
+    const Word row = ext > 0 ? SignExtend(pp, wa + 2 + ext) : pp;
+    AddRow(m, row, 2 * j);
+    AddBit(m, neg, 2 * j);
+  }
+
+  // Keep only weights below 2^out_w (everything above is modular
+  // overflow of the sign-extension trick).
+  if (m.size() > static_cast<std::size_t>(out_w)) m.resize(out_w);
+
+  TwoRows two_rows = ReduceToTwo(nl, std::move(m));
+  const Word sa = ZeroExtend(nl, two_rows.a, out_w);
+  const Word sb = ZeroExtend(nl, two_rows.b, out_w);
+  // Group-ripple carry-lookahead final adder: an area-optimized choice
+  // whose carry-chain length tracks the lowest *active* column — this
+  // is what makes the multiplier's critical path shrink with reduced
+  // input bitwidth (the DVAS accuracy/delay mechanism).
+  Word product = CarryLookaheadAdder(nl, sa, sb, c0).sum;
+  product.resize(out_w);
+  return product;
+}
+
+}  // namespace adq::gen

@@ -1,0 +1,22 @@
+#pragma once
+/// \file booth.h
+/// \brief Radix-4 (modified) Booth multiplier with Wallace tree.
+///
+/// This is the paper's first benchmark operator (Sec. IV-A: "a Booth
+/// multiplier with Wallace tree", 16-bit fixed point). The generator
+/// is parametric: multiplicand width is arbitrary, multiplier width
+/// must be even (radix-4 recodes two bits per row). Partial products
+/// are recoded rows {0, ±x, ±2x}; negation uses the invert-plus-
+/// correction-bit scheme; rows are summed by the carry-save Wallace
+/// reduction and a final Kogge-Stone adder.
+
+#include "gen/words.h"
+
+namespace adq::gen {
+
+/// Signed (two's complement) product of `a` (multiplicand, any width
+/// >= 2) and `b` (multiplier, even width >= 2). Result has
+/// Width(a) + Width(b) bits.
+Word BoothMultiplySigned(netlist::Netlist& nl, const Word& a, const Word& b);
+
+}  // namespace adq::gen

@@ -1,0 +1,77 @@
+#include "gen/wallace.h"
+
+#include <algorithm>
+
+namespace adq::gen {
+
+using netlist::NetId;
+using tech::CellKind;
+
+void AddRow(BitMatrix& m, const Word& row, int shift) {
+  ADQ_CHECK(shift >= 0);
+  if (m.size() < row.size() + shift) m.resize(row.size() + shift);
+  for (std::size_t i = 0; i < row.size(); ++i)
+    m[i + shift].push_back(row[i]);
+}
+
+void AddBit(BitMatrix& m, NetId bit, int pos) {
+  ADQ_CHECK(pos >= 0);
+  if (m.size() <= static_cast<std::size_t>(pos)) m.resize(pos + 1);
+  m[pos].push_back(bit);
+}
+
+int MatrixHeight(const BitMatrix& m) {
+  std::size_t h = 0;
+  for (const auto& col : m) h = std::max(h, col.size());
+  return static_cast<int>(h);
+}
+
+BitMatrix ReduceStage(netlist::Netlist& nl, const BitMatrix& m) {
+  BitMatrix out(m.size() + 1);
+  for (std::size_t col = 0; col < m.size(); ++col) {
+    const auto& bits = m[col];
+    std::size_t i = 0;
+    // Full adders consume triples: sum stays, carry moves up a column.
+    while (bits.size() - i >= 3) {
+      const auto fa = nl.AddCell(CellKind::kFa, tech::DriveStrength::kX1,
+                                 {bits[i], bits[i + 1], bits[i + 2]});
+      out[col].push_back(fa[0]);
+      AddBit(out, fa[1], static_cast<int>(col) + 1);
+      i += 3;
+    }
+    // A leftover pair goes through a half adder only if the column is
+    // still too tall relative to the target; the classic Wallace
+    // policy compresses pairs too, which is what we do — it keeps the
+    // stage count logarithmic.
+    if (bits.size() - i == 2) {
+      const auto ha = nl.AddCell(CellKind::kHa, tech::DriveStrength::kX1,
+                                 {bits[i], bits[i + 1]});
+      out[col].push_back(ha[0]);
+      AddBit(out, ha[1], static_cast<int>(col) + 1);
+      i += 2;
+    }
+    // A single leftover passes through untouched.
+    if (bits.size() - i == 1) out[col].push_back(bits[i]);
+  }
+  while (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+TwoRows ReduceToTwo(netlist::Netlist& nl, BitMatrix m) {
+  ADQ_CHECK(!m.empty());
+  int guard = 0;
+  while (MatrixHeight(m) > 2) {
+    m = ReduceStage(nl, m);
+    ADQ_CHECK_MSG(++guard <= 32, "Wallace reduction failed to converge");
+  }
+  TwoRows rows;
+  rows.a.reserve(m.size());
+  rows.b.reserve(m.size());
+  for (const auto& col : m) {
+    rows.a.push_back(col.size() >= 1 ? col[0] : nl.ConstNet(false));
+    rows.b.push_back(col.size() >= 2 ? col[1] : nl.ConstNet(false));
+  }
+  return rows;
+}
+
+}  // namespace adq::gen

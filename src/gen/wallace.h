@@ -1,0 +1,44 @@
+#pragma once
+/// \file wallace.h
+/// \brief Carry-save compressor tree (Wallace reduction).
+///
+/// Reduces a partial-product bit matrix to two rows using 3:2 (full
+/// adder) and 2:2 (half adder) compressors, then lets the caller pick
+/// a final carry-propagate adder. This is the reduction structure the
+/// paper's Booth multiplier ("Booth multiplier with Wallace tree",
+/// Sec. IV-A) uses.
+
+#include <vector>
+
+#include "gen/words.h"
+
+namespace adq::gen {
+
+/// A bit matrix in column form: columns[i] holds the nets whose
+/// arithmetic weight is 2^i. Columns may have any height.
+using BitMatrix = std::vector<std::vector<netlist::NetId>>;
+
+/// Adds `row` (LSB-first, weight shifted by `shift`) into the matrix,
+/// growing it as needed.
+void AddRow(BitMatrix& m, const Word& row, int shift = 0);
+
+/// Adds a single bit of weight 2^pos.
+void AddBit(BitMatrix& m, netlist::NetId bit, int pos);
+
+/// One Wallace reduction stage: every column of height >= 3 feeds
+/// full adders, leftover pairs feed half adders. Returns the reduced
+/// matrix (heights shrink by ~2/3 per stage).
+BitMatrix ReduceStage(netlist::Netlist& nl, const BitMatrix& m);
+
+/// Repeats ReduceStage until every column has height <= 2; returns the
+/// two addend rows (equal width, zero-padded with the constant net).
+struct TwoRows {
+  Word a;
+  Word b;
+};
+TwoRows ReduceToTwo(netlist::Netlist& nl, BitMatrix m);
+
+/// Maximum column height (0 for an empty matrix).
+int MatrixHeight(const BitMatrix& m);
+
+}  // namespace adq::gen

@@ -1,0 +1,109 @@
+#include "netlist/case_analysis.h"
+
+#include "netlist/topo.h"
+
+namespace adq::netlist {
+
+void Evaluate3(tech::CellKind kind, const LogicV* in, LogicV* out) {
+  const int n_in = tech::NumInputs(kind);
+  const int n_out = tech::NumOutputs(kind);
+
+  // Collect X input positions.
+  int x_pos[3];
+  int n_x = 0;
+  bool base[3] = {false, false, false};
+  for (int i = 0; i < n_in; ++i) {
+    if (in[i] == LogicV::kX)
+      x_pos[n_x++] = i;
+    else
+      base[i] = (in[i] == LogicV::kOne);
+  }
+
+  // Enumerate all completions of the X inputs; a cube of at most 2^3.
+  bool first = true;
+  bool agreed[2] = {false, false};
+  bool agree_ok[2] = {true, true};
+  for (unsigned m = 0; m < (1u << n_x); ++m) {
+    bool ins[3] = {base[0], base[1], base[2]};
+    for (int j = 0; j < n_x; ++j) ins[x_pos[j]] = (m >> j) & 1u;
+    bool o[2] = {false, false};
+    tech::Evaluate(kind, ins, o);
+    for (int k = 0; k < n_out; ++k) {
+      if (first)
+        agreed[k] = o[k];
+      else if (o[k] != agreed[k])
+        agree_ok[k] = false;
+    }
+    first = false;
+  }
+  for (int k = 0; k < n_out; ++k)
+    out[k] = agree_ok[k] ? FromBool(agreed[k]) : LogicV::kX;
+}
+
+CaseAnalysis::CaseAnalysis(const Netlist& nl,
+                           const std::vector<ForcedValue>& forced)
+    : values_(nl.num_nets(), LogicV::kX) {
+  for (const ForcedValue& f : forced) {
+    ADQ_CHECK_MSG(nl.net(f.net).is_primary_input,
+                  "case analysis can only force primary-input ports");
+    values_[f.net.index()] = FromBool(f.value);
+  }
+
+  const std::vector<InstId> order = TopologicalOrder(nl);
+
+  // DFF Q values: X initially. Demotion to "sticky X" guarantees
+  // termination: each register moves at most X -> const -> sticky X.
+  std::vector<bool> sticky(nl.num_instances(), false);
+
+  // Iterate comb propagation + register transfer to a fixpoint.
+  // Each pass is a full topological sweep, so the comb part is exact
+  // after one pass for the current register assumptions.
+  bool changed = true;
+  int guard = 0;
+  while (changed) {
+    changed = false;
+    ADQ_CHECK_MSG(++guard <= 64, "case analysis failed to converge");
+
+    for (const InstId id : order) {
+      const Instance& inst = nl.inst(id);
+      if (inst.is_sequential()) continue;  // handled below
+      LogicV in3[3];
+      for (int p = 0; p < inst.num_inputs(); ++p)
+        in3[p] = values_[inst.in[p].index()];
+      LogicV out3[2];
+      Evaluate3(inst.kind, in3, out3);
+      for (int o = 0; o < inst.num_outputs(); ++o) {
+        LogicV& slot = values_[inst.out[o].index()];
+        if (slot != out3[o]) {
+          slot = out3[o];
+          changed = true;
+        }
+      }
+    }
+
+    // Register transfer: Q adopts D's constant if provable and stable.
+    for (std::size_t i = 0; i < nl.num_instances(); ++i) {
+      const Instance& inst = nl.instances()[i];
+      if (!inst.is_sequential() || sticky[i]) continue;
+      const LogicV d = values_[inst.in[0].index()];
+      LogicV& q = values_[inst.out[0].index()];
+      if (q == LogicV::kX) {
+        if (d != LogicV::kX) {
+          q = d;
+          changed = true;
+        }
+      } else if (d != q) {
+        // The assumed register constant was inconsistent with its own
+        // fanin once propagated — demote to X permanently.
+        q = LogicV::kX;
+        sticky[i] = true;
+        changed = true;
+      }
+    }
+  }
+
+  for (const LogicV v : values_)
+    if (v != LogicV::kX) ++num_constant_;
+}
+
+}  // namespace adq::netlist

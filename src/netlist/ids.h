@@ -1,0 +1,54 @@
+#pragma once
+/// \file ids.h
+/// \brief Strongly-typed dense indices for netlist entities.
+///
+/// Instances and nets are stored in flat vectors; these wrappers stop
+/// an instance index from being used as a net index (a classic EDA
+/// bug class) at zero runtime cost.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace adq::netlist {
+
+template <typename Tag>
+struct Id {
+  std::uint32_t value = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const {
+    return value != std::numeric_limits<std::uint32_t>::max();
+  }
+  constexpr std::size_t index() const { return value; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+using NetId = Id<struct NetTag>;
+using InstId = Id<struct InstTag>;
+
+/// A (instance, pin-number) pair; identifies either an input pin or an
+/// output pin depending on context.
+struct PinRef {
+  InstId inst;
+  std::uint8_t pin = 0;
+
+  bool valid() const { return inst.valid(); }
+  friend bool operator==(const PinRef& a, const PinRef& b) {
+    return a.inst == b.inst && a.pin == b.pin;
+  }
+};
+
+}  // namespace adq::netlist
+
+template <typename Tag>
+struct std::hash<adq::netlist::Id<Tag>> {
+  std::size_t operator()(adq::netlist::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,38 @@
+#include "netlist/stats.h"
+
+#include <sstream>
+
+#include "netlist/topo.h"
+
+namespace adq::netlist {
+
+NetlistStats ComputeStats(const Netlist& nl, const tech::CellLibrary& lib) {
+  NetlistStats s;
+  s.num_instances = nl.num_instances();
+  s.num_nets = nl.num_nets();
+  for (const Instance& inst : nl.instances()) {
+    ++s.count_by_kind[static_cast<std::size_t>(inst.kind)];
+    if (inst.is_sequential())
+      ++s.num_dffs;
+    else if (!tech::IsTie(inst.kind))
+      ++s.num_comb;
+    s.cell_area_um2 += lib.AreaUm2(inst.kind, inst.drive);
+  }
+  s.logic_depth = LogicDepth(nl);
+  return s;
+}
+
+std::string NetlistStats::Render(const std::string& title) const {
+  std::ostringstream os;
+  os << title << ": " << num_instances << " cells (" << num_comb
+     << " comb, " << num_dffs << " regs), " << num_nets << " nets, depth "
+     << logic_depth << ", cell area " << cell_area_um2 << " um^2\n";
+  for (int k = 0; k < tech::kNumCellKinds; ++k) {
+    if (count_by_kind[static_cast<std::size_t>(k)] == 0) continue;
+    os << "  " << tech::ToString(static_cast<tech::CellKind>(k)) << ": "
+       << count_by_kind[static_cast<std::size_t>(k)] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace adq::netlist

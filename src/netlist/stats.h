@@ -1,0 +1,27 @@
+#pragma once
+/// \file stats.h
+/// \brief Netlist summary statistics (cell counts, area, depth).
+
+#include <array>
+#include <string>
+
+#include "netlist/netlist.h"
+#include "tech/cell_library.h"
+
+namespace adq::netlist {
+
+struct NetlistStats {
+  std::size_t num_instances = 0;
+  std::size_t num_nets = 0;
+  std::size_t num_dffs = 0;
+  std::size_t num_comb = 0;
+  int logic_depth = 0;
+  double cell_area_um2 = 0.0;
+  std::array<std::size_t, tech::kNumCellKinds> count_by_kind{};
+
+  std::string Render(const std::string& title) const;
+};
+
+NetlistStats ComputeStats(const Netlist& nl, const tech::CellLibrary& lib);
+
+}  // namespace adq::netlist

@@ -1,0 +1,30 @@
+#pragma once
+/// \file topo.h
+/// \brief Topological ordering and levelization of the combinational
+/// part of a netlist.
+///
+/// Registers cut the graph: DFF output (Q) nets are sources like
+/// primary inputs, DFF input (D) pins are sinks like primary outputs.
+/// Feedback loops through registers (e.g. a MAC accumulator) are
+/// therefore legal; purely combinational loops are a structural error.
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace adq::netlist {
+
+/// Returns every instance exactly once, with tie cells and DFFs first
+/// and every combinational instance after the combinational drivers of
+/// all of its inputs. Throws CheckError on a combinational loop.
+std::vector<InstId> TopologicalOrder(const Netlist& nl);
+
+/// Logic level of each instance (index = instance id): ties/DFFs/PIs
+/// are level 0 sources; a combinational cell is 1 + max(level of
+/// driving cells). Useful for depth statistics.
+std::vector<int> Levelize(const Netlist& nl);
+
+/// Maximum combinational logic depth (levels) of the design.
+int LogicDepth(const Netlist& nl);
+
+}  // namespace adq::netlist

@@ -1,0 +1,79 @@
+#include "netlist/verilog.h"
+
+#include <sstream>
+
+namespace adq::netlist {
+
+namespace {
+
+std::string NetName(const Netlist& nl, NetId id) {
+  const std::string& port = nl.PortName(id);
+  if (!port.empty()) return port;
+  return "n" + std::to_string(id.value);
+}
+
+/// Port order of each cell template in the emitted library.
+const char* PinName(tech::CellKind k, bool output, int pin) {
+  using tech::CellKind;
+  if (output) {
+    if (k == CellKind::kHa || k == CellKind::kFa)
+      return pin == 0 ? "S" : "CO";
+    if (k == CellKind::kDff) return "Q";
+    return "Z";
+  }
+  if (k == CellKind::kDff) return "D";
+  if (k == CellKind::kMux2) return pin == 0 ? "D0" : (pin == 1 ? "D1" : "S");
+  if (k == CellKind::kFa) return pin == 0 ? "A" : (pin == 1 ? "B" : "CI");
+  static const char* kAbc[] = {"A", "B", "C"};
+  return kAbc[pin];
+}
+
+}  // namespace
+
+void WriteVerilog(const Netlist& nl, std::ostream& os) {
+  os << "// Structural netlist emitted by adequate-bb\n";
+  os << "module " << nl.name() << " (\n";
+  bool first = true;
+  for (const NetId pi : nl.primary_inputs()) {
+    os << (first ? "  " : ",\n  ") << "input " << NetName(nl, pi);
+    first = false;
+  }
+  for (const NetId po : nl.primary_outputs()) {
+    os << (first ? "  " : ",\n  ") << "output " << NetName(nl, po);
+    first = false;
+  }
+  os << "\n);\n";
+
+  for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+    const NetId id(static_cast<std::uint32_t>(n));
+    if (nl.net(id).is_primary_input || nl.net(id).is_primary_output) continue;
+    os << "  wire " << NetName(nl, id) << ";\n";
+  }
+
+  for (std::size_t i = 0; i < nl.num_instances(); ++i) {
+    const Instance& inst = nl.instances()[i];
+    os << "  " << tech::ToString(inst.kind) << "_"
+       << tech::ToString(inst.drive) << " u" << i << " (";
+    bool first_pin = true;
+    for (int o = 0; o < inst.num_outputs(); ++o) {
+      os << (first_pin ? "" : ", ") << '.' << PinName(inst.kind, true, o)
+         << '(' << NetName(nl, inst.out[o]) << ')';
+      first_pin = false;
+    }
+    for (int p = 0; p < inst.num_inputs(); ++p) {
+      os << (first_pin ? "" : ", ") << '.' << PinName(inst.kind, false, p)
+         << '(' << NetName(nl, inst.in[p]) << ')';
+      first_pin = false;
+    }
+    os << ");\n";
+  }
+  os << "endmodule\n";
+}
+
+std::string ToVerilog(const Netlist& nl) {
+  std::ostringstream os;
+  WriteVerilog(nl, os);
+  return os.str();
+}
+
+}  // namespace adq::netlist

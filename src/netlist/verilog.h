@@ -1,0 +1,23 @@
+#pragma once
+/// \file verilog.h
+/// \brief Structural Verilog writer.
+///
+/// Emits the netlist as a gate-level Verilog module over the synthetic
+/// library's cell names, mirroring the hand-off format between the
+/// flow stages of a conventional implementation flow (the paper's
+/// Fig. 4 passes .v netlists between SoC Encounter and PrimeTime).
+
+#include <ostream>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace adq::netlist {
+
+/// Writes `nl` as a structural Verilog module to `os`.
+void WriteVerilog(const Netlist& nl, std::ostream& os);
+
+/// Convenience: returns the module text as a string.
+std::string ToVerilog(const Netlist& nl);
+
+}  // namespace adq::netlist

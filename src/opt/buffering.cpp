@@ -1,0 +1,50 @@
+#include "opt/buffering.h"
+
+#include <deque>
+
+namespace adq::opt {
+
+using netlist::NetId;
+using netlist::Netlist;
+using netlist::PinRef;
+
+BufferingResult BufferHighFanout(Netlist& nl, int max_fanout) {
+  ADQ_CHECK(max_fanout >= 2);
+  BufferingResult res;
+
+  std::deque<NetId> work;
+  for (std::uint32_t n = 0; n < nl.num_nets(); ++n) work.push_back(NetId(n));
+
+  while (!work.empty()) {
+    const NetId id = work.front();
+    work.pop_front();
+    const netlist::Net& net = nl.net(id);
+    if (static_cast<int>(net.sinks.size()) <= max_fanout) continue;
+    // Constants have no transitions; fanout on them is free.
+    if (net.driver.valid() && tech::IsTie(nl.inst(net.driver.inst).kind))
+      continue;
+    ++res.nets_processed;
+
+    // Split the sinks into groups of at most max_fanout, each behind
+    // one buffer. A snapshot is required: RewireSink edits the list.
+    const std::vector<PinRef> sinks = net.sinks;
+    std::size_t cursor = 0;
+    while (cursor < sinks.size()) {
+      const std::size_t group_end = std::min(
+          sinks.size(), cursor + static_cast<std::size_t>(max_fanout));
+      const NetId buf_out =
+          nl.AddGate(tech::CellKind::kBuf, {id}, tech::DriveStrength::kX2);
+      ++res.buffers_inserted;
+      for (std::size_t s = cursor; s < group_end; ++s)
+        nl.RewireSink(sinks[s], buf_out);
+      cursor = group_end;
+    }
+    // The net now drives only buffers; if there are still too many of
+    // them, process it again (builds the tree level by level).
+    if (static_cast<int>(nl.net(id).sinks.size()) > max_fanout)
+      work.push_back(id);
+  }
+  return res;
+}
+
+}  // namespace adq::opt

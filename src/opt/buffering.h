@@ -1,0 +1,26 @@
+#pragma once
+/// \file buffering.h
+/// \brief High-fanout net buffering.
+///
+/// Synthesis tools bound the fanout of every net by inserting buffer
+/// trees; without this, control nets (e.g. a Booth row's `neg` signal
+/// fanning out to 18 XORs) accumulate enormous pin capacitance and
+/// dominate the critical path. This pass splits the sink set of any
+/// net with more than `max_fanout` sinks into buffered groups,
+/// recursively, preserving logic function exactly.
+
+#include "netlist/netlist.h"
+
+namespace adq::opt {
+
+struct BufferingResult {
+  int buffers_inserted = 0;
+  int nets_processed = 0;
+};
+
+/// Rewires the netlist in place so every net drives at most
+/// `max_fanout` sinks (buffer output nets included). DFF D pins and
+/// primary outputs count as sinks like any other.
+BufferingResult BufferHighFanout(netlist::Netlist& nl, int max_fanout = 8);
+
+}  // namespace adq::opt

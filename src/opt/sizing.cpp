@@ -1,0 +1,149 @@
+#include "opt/sizing.h"
+
+#include <algorithm>
+
+#include "sta/sta.h"
+
+namespace adq::opt {
+
+using netlist::InstId;
+using netlist::NetId;
+using netlist::Netlist;
+using tech::DriveStrength;
+
+namespace {
+
+/// Worst slack over an instance's pins (its "through" slack).
+double InstSlack(const Netlist& nl,
+                 const sta::TimingAnalyzer::DetailedTiming& dt,
+                 std::uint32_t i) {
+  const netlist::Instance& inst = nl.instances()[i];
+  double slack = std::numeric_limits<double>::infinity();
+  for (int o = 0; o < inst.num_outputs(); ++o) {
+    const NetId out = inst.out[o];
+    if (!dt.ActiveNet(out)) continue;
+    slack = std::min(slack, dt.SlackOf(out));
+  }
+  for (int p = 0; p < inst.num_inputs(); ++p) {
+    const NetId in = inst.in[p];
+    if (!dt.ActiveNet(in)) continue;
+    slack = std::min(slack, dt.SlackOf(in));
+  }
+  return slack;
+}
+
+bool CanUpsize(DriveStrength d) { return d != DriveStrength::kX4; }
+bool CanDownsize(DriveStrength d) { return d != DriveStrength::kX0P25; }
+DriveStrength Up(DriveStrength d) {
+  return static_cast<DriveStrength>(static_cast<int>(d) + 1);
+}
+DriveStrength Down(DriveStrength d) {
+  return static_cast<DriveStrength>(static_cast<int>(d) - 1);
+}
+
+}  // namespace
+
+SizingResult OptimizeSizing(Netlist& nl, const tech::CellLibrary& lib,
+                            const LoadsFn& loads_fn,
+                            const SizingOptions& opt) {
+  SizingResult res;
+  const std::vector<tech::BiasState> bias(nl.num_instances(), opt.corner);
+  const double scale = lib.DelayScale(opt.vdd, opt.corner);
+
+  place::NetLoads loads = loads_fn(nl);
+  sta::TimingAnalyzer analyzer(nl, lib, loads);
+
+  // ---- Phase 1: upsize until the clock is met (or sizes saturate).
+  bool met = false;
+  for (; res.iterations < opt.max_iterations; ++res.iterations) {
+    const auto dt = analyzer.AnalyzeDetailed(opt.vdd, opt.clock_ns, bias);
+    if (dt.wns_ns >= 0.0) {
+      met = true;
+      break;
+    }
+    int moves = 0;
+    for (std::uint32_t i = 0; i < nl.num_instances(); ++i) {
+      const netlist::Instance& inst = nl.instances()[i];
+      if (tech::IsTie(inst.kind)) continue;
+      if (!CanUpsize(inst.drive)) continue;
+      if (InstSlack(nl, dt, i) < 0.0) {
+        nl.SetDrive(InstId(i), Up(inst.drive));
+        ++moves;
+      }
+    }
+    if (moves == 0) break;  // saturated; timing unreachable
+    res.upsize_moves += moves;
+    loads = loads_fn(nl);
+    analyzer.SetLoads(loads);
+  }
+
+  // ---- Phase 2: power recovery on slack paths (wall of slack).
+  // Guarded greedy: tentatively downsize the K highest-slack
+  // candidates, verify by STA, and *revert exactly those moves* on a
+  // violation (then halve K). Timing is never left broken and the
+  // final state is a monotone descent — no up/down churn, so the
+  // flat and partitioned variants of a design converge to comparable
+  // sizing states.
+  if (opt.enable_recovery && met) {
+    const long budget = static_cast<long>(
+        opt.recovery_steps_per_cell * static_cast<double>(nl.num_instances()));
+    int k = std::max<int>(16, static_cast<int>(nl.num_instances()) / 8);
+    for (int pass = 0; pass < 16 * opt.max_iterations && k >= 8 &&
+                       res.downsize_moves < budget;
+         ++pass) {
+      const auto dt = analyzer.AnalyzeDetailed(opt.vdd, opt.clock_ns, bias);
+      // Candidates: downsizable cells whose estimated self-delay
+      // increase fits within their slack minus the margin.
+      std::vector<std::pair<double, std::uint32_t>> cand;  // (slack, id)
+      for (std::uint32_t i = 0; i < nl.num_instances(); ++i) {
+        const netlist::Instance& inst = nl.instances()[i];
+        if (tech::IsTie(inst.kind)) continue;
+        if (!CanDownsize(inst.drive)) continue;
+        const double slack = InstSlack(nl, dt, i);
+        if (slack == std::numeric_limits<double>::infinity()) continue;
+        const tech::CellVariant& cur = lib.Variant(inst.kind, inst.drive);
+        const tech::CellVariant& dn =
+            lib.Variant(inst.kind, Down(inst.drive));
+        double worst_load = 0.0;
+        for (int o = 0; o < inst.num_outputs(); ++o)
+          worst_load =
+              std::max(worst_load, loads.cap_ff[inst.out[o].index()]);
+        const double delta =
+            ((dn.d0_ns - cur.d0_ns) +
+             (dn.kd_ns_per_ff - cur.kd_ns_per_ff) * worst_load) *
+            scale;
+        if (delta <= slack - opt.recovery_margin_ns) cand.push_back({slack, i});
+      }
+      if (cand.empty()) break;
+      std::sort(cand.begin(), cand.end(),
+                [](const auto& a, const auto& b) { return a.first > b.first; });
+      const int take = std::min<int>(k, static_cast<int>(cand.size()));
+      std::vector<std::uint32_t> moved;
+      moved.reserve(static_cast<std::size_t>(take));
+      for (int t = 0; t < take; ++t) {
+        const std::uint32_t i = cand[static_cast<std::size_t>(t)].second;
+        nl.SetDrive(InstId(i), Down(nl.instances()[i].drive));
+        moved.push_back(i);
+      }
+      loads = loads_fn(nl);
+      analyzer.SetLoads(loads);
+      const auto check = analyzer.Analyze(opt.vdd, opt.clock_ns, bias);
+      if (check.feasible()) {
+        res.downsize_moves += take;
+      } else {
+        for (const std::uint32_t i : moved)
+          nl.SetDrive(InstId(i), Up(nl.instances()[i].drive));
+        loads = loads_fn(nl);
+        analyzer.SetLoads(loads);
+        k /= 2;
+      }
+    }
+  }
+
+  const auto final_rep = analyzer.Analyze(opt.vdd, opt.clock_ns, bias);
+  res.wns_ns = final_rep.wns_ns;
+  res.timing_met = final_rep.feasible();
+  return res;
+}
+
+}  // namespace adq::opt

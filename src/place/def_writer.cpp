@@ -1,0 +1,62 @@
+#include "place/def_writer.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "tech/cell.h"
+
+namespace adq::place {
+
+namespace {
+constexpr int kDbuPerUm = 1000;
+long Dbu(double um) { return std::lround(um * kDbuPerUm); }
+}  // namespace
+
+void WriteDef(const netlist::Netlist& nl, const Placement& pl,
+              const GridPartition* part, std::ostream& os) {
+  os << "VERSION 5.8 ;\nDESIGN " << nl.name() << " ;\n";
+  os << "UNITS DISTANCE MICRONS " << kDbuPerUm << " ;\n";
+  os << "DIEAREA ( 0 0 ) ( " << Dbu(pl.fp.width_um) << ' '
+     << Dbu(pl.fp.height_um) << " ) ;\n\n";
+
+  const int rows = pl.fp.num_rows();
+  for (int r = 0; r < rows; ++r) {
+    os << "ROW core_row_" << r << " CoreSite 0 "
+       << Dbu(r * pl.fp.row_height_um) << " N ;\n";
+  }
+  os << '\n';
+
+  if (part != nullptr) {
+    os << "REGIONS " << part->num_domains() << " ;\n";
+    for (int d = 0; d < part->num_domains(); ++d) {
+      const GridPartition::Tile& t =
+          part->tiles[static_cast<std::size_t>(d)];
+      os << "  - vth_domain_" << d << " ( " << Dbu(t.x_lo) << ' '
+         << Dbu(t.y_lo) << " ) ( " << Dbu(t.x_hi) << ' ' << Dbu(t.y_hi)
+         << " ) ;\n";
+    }
+    os << "END REGIONS\n\n";
+  }
+
+  os << "COMPONENTS " << nl.num_instances() << " ;\n";
+  for (std::uint32_t i = 0; i < nl.num_instances(); ++i) {
+    const netlist::Instance& inst = nl.instances()[i];
+    const Point& p = pl.pos[i];
+    os << "  - u" << i << ' ' << tech::ToString(inst.kind) << '_'
+       << tech::ToString(inst.drive) << " + PLACED ( " << Dbu(p.x) << ' '
+       << Dbu(p.y) << " ) N";
+    if (part != nullptr)
+      os << " + REGION vth_domain_" << part->domain_of[i];
+    os << " ;\n";
+  }
+  os << "END COMPONENTS\n\nEND DESIGN\n";
+}
+
+std::string ToDef(const netlist::Netlist& nl, const Placement& pl,
+                  const GridPartition* part) {
+  std::ostringstream os;
+  WriteDef(nl, pl, part, os);
+  return os.str();
+}
+
+}  // namespace adq::place

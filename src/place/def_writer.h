@@ -1,0 +1,28 @@
+#pragma once
+/// \file def_writer.h
+/// \brief DEF-style dump of a placement with its Vth-domain regions.
+///
+/// Completes the flow's hand-off artifacts (structural Verilog from
+/// netlist/verilog.h, Liberty from tech/liberty_writer.h): a
+/// DEF-flavoured text with the die area, placement rows, every
+/// component's location, and the Vth domains emitted as REGIONs —
+/// loadable into physical-design viewers and diffable in tests.
+
+#include <ostream>
+#include <string>
+
+#include "place/grid_partition.h"
+#include "place/placer.h"
+
+namespace adq::place {
+
+/// Writes `pl` (and, if `part` is non-null, its domain regions) as
+/// DEF-style text. Distances are emitted in DEF database units of
+/// 1000 per micrometre.
+void WriteDef(const netlist::Netlist& nl, const Placement& pl,
+              const GridPartition* part, std::ostream& os);
+
+std::string ToDef(const netlist::Netlist& nl, const Placement& pl,
+                  const GridPartition* part = nullptr);
+
+}  // namespace adq::place

@@ -1,0 +1,49 @@
+#pragma once
+/// \file floorplan.h
+/// \brief Die/row geometry for row-based standard-cell placement.
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace adq::place {
+
+/// 2D point in micrometres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A rectangular standard-cell die of horizontal rows.
+struct Floorplan {
+  double width_um = 0.0;
+  double height_um = 0.0;
+  double row_height_um = 1.2;  // paper Sec. II-C: 1.2 um cell height
+
+  int num_rows() const {
+    return static_cast<int>(std::floor(height_um / row_height_um));
+  }
+  double row_y(int r) const {  // row centerline
+    return (r + 0.5) * row_height_um;
+  }
+  double area_um2() const { return width_um * height_um; }
+};
+
+/// Builds a near-square die fitting `cell_area_um2` at `utilization`
+/// (ratio of cell area to die area, < 1 to leave routing space),
+/// with the height snapped up to a whole number of rows.
+inline Floorplan MakeFloorplan(double cell_area_um2, double utilization,
+                               double row_height_um = 1.2) {
+  ADQ_CHECK(cell_area_um2 > 0.0);
+  ADQ_CHECK(utilization > 0.05 && utilization <= 1.0);
+  const double die_area = cell_area_um2 / utilization;
+  const double side = std::sqrt(die_area);
+  Floorplan fp;
+  fp.row_height_um = row_height_um;
+  const int rows = std::max(1, (int)std::ceil(side / row_height_um));
+  fp.height_um = rows * row_height_um;
+  fp.width_um = die_area / fp.height_um;
+  return fp;
+}
+
+}  // namespace adq::place

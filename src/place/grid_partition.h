@@ -1,0 +1,86 @@
+#pragma once
+/// \file grid_partition.h
+/// \brief Regular-grid Vth/BB domain partitioning with guardbands.
+///
+/// Implements Sec. III-B of the paper: the die is cut into an
+/// NX x NY grid of equal rectangular Vth domains. Adjacent deep-N-well
+/// domains must be separated by guardbands (~3.5 um in the paper's
+/// node), so inserting the grid enlarges the die — that is the area
+/// overhead column of Table I and of Fig. 6b. Each placed cell is
+/// assigned to the tile containing it; the incremental-placement step
+/// (ApplyPartition) then shifts and re-legalizes cells inside their
+/// tiles, mirroring the flow's "Insertion of Vth Domains ->
+/// Incremental Placement" stages (Fig. 4).
+
+#include <string>
+#include <vector>
+
+#include "place/placer.h"
+
+namespace adq::place {
+
+/// Grid shape: nx columns by ny rows of domains (paper notation
+/// "2x2", "3x1", ...).
+struct GridConfig {
+  int nx = 1;
+  int ny = 1;
+  int num_domains() const { return nx * ny; }
+  std::string ToString() const {
+    return std::to_string(nx) + "x" + std::to_string(ny);
+  }
+};
+
+struct GridPartition {
+  GridConfig cfg;
+  double guardband_um = 3.5;
+  Floorplan original;  ///< die before guardband insertion
+  Floorplan enlarged;  ///< die after guardband insertion
+
+  /// Tile rectangles in the *enlarged* die, index = ty * nx + tx.
+  struct Tile {
+    double x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+  };
+  std::vector<Tile> tiles;
+
+  /// Domain index of every instance (index = instance id).
+  std::vector<int> domain_of;
+
+  int num_domains() const { return cfg.num_domains(); }
+  /// Fractional silicon-area overhead of the guardbands (Table I
+  /// "Aovr" / Fig. 6b).
+  double area_overhead() const {
+    return enlarged.area_um2() / original.area_um2() - 1.0;
+  }
+};
+
+/// Cuts the placed die into the grid and assigns each cell to the
+/// tile containing its location. Horizontal guardbands are snapped up
+/// to whole placement rows. Tiles whose local cell density exceeds
+/// their row capacity shed boundary cells to adjacent tiles (the
+/// density rebalancing a real incremental placer performs), so the
+/// subsequent per-tile legalization always succeeds.
+GridPartition MakePartition(const netlist::Netlist& nl,
+                            const tech::CellLibrary& lib,
+                            const Placement& pl, GridConfig cfg,
+                            double guardband_um = 3.5);
+
+/// Like MakePartition but with caller-chosen horizontal band heights
+/// (`band_rows[k]` = placement rows of band k; must sum to the die's
+/// row count). This is the hook for criticality-driven domain
+/// construction (see place/band_partition.h): the grid stays
+/// rectangular — guardbands need straight lines — but the cut
+/// positions become a design variable.
+GridPartition MakePartitionWithBands(const netlist::Netlist& nl,
+                                     const tech::CellLibrary& lib,
+                                     const Placement& pl, int nx,
+                                     std::vector<int> band_rows,
+                                     double guardband_um = 3.5);
+
+/// Incremental placement: shifts every cell by its tile's guardband
+/// offset and re-legalizes within the tile; port anchors move to the
+/// enlarged periphery. Cell-to-domain assignment is preserved.
+Placement ApplyPartition(const netlist::Netlist& nl,
+                         const tech::CellLibrary& lib, const Placement& pl,
+                         const GridPartition& part);
+
+}  // namespace adq::place

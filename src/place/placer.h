@@ -1,0 +1,58 @@
+#pragma once
+/// \file placer.h
+/// \brief Analytic standard-cell placement with Tetris legalization.
+///
+/// Reproduces the role of the "First Placement (no BB domains)" stage
+/// of the paper's flow (Fig. 4): cells are placed according to
+/// standard timing/area constraints and, crucially, their positions
+/// determine which Vth domain each cell later falls into. The
+/// algorithm is a classic force-directed/centroid iteration (ports
+/// anchored at the periphery) followed by row legalization — simple,
+/// deterministic, and good enough to give wirelength and locality the
+/// right trends.
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "place/floorplan.h"
+#include "tech/cell_library.h"
+#include "util/rng.h"
+
+namespace adq::place {
+
+/// A legalized placement: one site per instance, plus fixed peripheral
+/// anchor points for primary ports (used in wirelength estimation).
+struct Placement {
+  Floorplan fp;
+  std::vector<Point> pos;          ///< cell centers, index = instance id
+  std::vector<Point> port_anchor;  ///< index = net id; valid for ports
+
+  const Point& of(netlist::InstId id) const { return pos[id.index()]; }
+};
+
+struct PlacerOptions {
+  double utilization = 0.55;   ///< cell area / die area (routing space)
+  int centroid_iterations = 60;
+  std::uint64_t seed = 1;
+};
+
+/// Places the whole netlist on a fresh floorplan.
+Placement PlaceDesign(const netlist::Netlist& nl,
+                      const tech::CellLibrary& lib,
+                      const PlacerOptions& opt = {});
+
+/// Legalizes arbitrary target positions into rows of `fp` (Tetris:
+/// cells sorted by x, greedily assigned to the feasible row slot with
+/// minimum displacement). Exposed for the incremental-placement step.
+/// `row_offset_um`/`x_offset_um` shift the legal area inside the die
+/// (used to legalize into one domain tile of a partitioned die).
+std::vector<Point> LegalizeRows(
+    const netlist::Netlist& nl, const tech::CellLibrary& lib,
+    const std::vector<Point>& target, const std::vector<bool>& movable,
+    double x_lo, double x_hi, double y_lo, double y_hi,
+    double row_height_um);
+
+/// Total half-perimeter wirelength of the placement [um].
+double TotalHpwl(const netlist::Netlist& nl, const Placement& pl);
+
+}  // namespace adq::place

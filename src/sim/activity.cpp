@@ -1,0 +1,62 @@
+#include "sim/activity.h"
+
+#include <algorithm>
+
+#include "sim/stimulus.h"
+
+namespace adq::sim {
+
+ActivityProfile ExtractActivity(const gen::Operator& op, int zeroed_lsbs,
+                                int cycles, std::uint64_t seed,
+                                StimulusKind kind) {
+  ADQ_CHECK(cycles > 0);
+  ADQ_CHECK(zeroed_lsbs >= 0 && zeroed_lsbs <= op.spec.data_width);
+  util::Rng rng(seed);
+  const netlist::Netlist& nl = op.nl;
+
+  // Pre-generate one stream per input bus.
+  struct BusStream {
+    const netlist::Bus* bus;
+    std::vector<std::uint64_t> data;
+  };
+  std::vector<BusStream> streams;
+  for (const netlist::Bus& bus : nl.input_buses()) {
+    BusStream s;
+    s.bus = &bus;
+    if (bus.name == "clr") {
+      // Accumulator framing: one-cycle clear pulse every 15 cycles
+      // (the folded FIR's output cadence).
+      s.data.resize(static_cast<std::size_t>(cycles));
+      for (int i = 0; i < cycles; ++i) s.data[(std::size_t)i] = (i % 15) == 0;
+    } else {
+      s.data = (kind == StimulusKind::kUniform)
+                   ? UniformStream(rng, bus.width(), cycles)
+                   : CorrelatedStream(rng, bus.width(), cycles);
+      const bool scalable =
+          std::find(op.spec.scalable_buses.begin(),
+                    op.spec.scalable_buses.end(),
+                    bus.name) != op.spec.scalable_buses.end();
+      if (scalable) MaskStream(s.data, bus.width(), zeroed_lsbs);
+    }
+    streams.push_back(std::move(s));
+  }
+
+  LogicSim sim(nl);
+  sim.Reset();
+  for (int t = 0; t < cycles; ++t) {
+    for (const BusStream& s : streams)
+      sim.SetBus(*s.bus, s.data[static_cast<std::size_t>(t)]);
+    sim.Tick();
+  }
+
+  ActivityProfile prof;
+  prof.cycles = sim.cycles();
+  prof.toggle_rate.resize(nl.num_nets(), 0.0);
+  const double denom = static_cast<double>(std::max<std::uint64_t>(
+      1, sim.cycles()));
+  for (std::size_t n = 0; n < nl.num_nets(); ++n)
+    prof.toggle_rate[n] = static_cast<double>(sim.toggles()[n]) / denom;
+  return prof;
+}
+
+}  // namespace adq::sim

@@ -1,0 +1,83 @@
+#include "sim/logic_sim.h"
+
+namespace adq::sim {
+
+using netlist::InstId;
+using netlist::NetId;
+
+LogicSim::LogicSim(const netlist::Netlist& nl)
+    : nl_(nl),
+      values_(nl.num_nets(), false),
+      prev_values_(nl.num_nets(), false),
+      toggles_(nl.num_nets(), 0) {
+  // Keep only combinational/tie cells in evaluation order; DFG order
+  // from TopologicalOrder already places ties first.
+  for (const InstId id : netlist::TopologicalOrder(nl)) {
+    if (!nl.inst(id).is_sequential()) order_.push_back(id);
+  }
+  Settle();
+}
+
+void LogicSim::SetInput(NetId port, bool value) {
+  ADQ_DCHECK(nl_.net(port).is_primary_input);
+  values_[port.index()] = value;
+}
+
+void LogicSim::SetBus(const netlist::Bus& bus, std::uint64_t value) {
+  for (int i = 0; i < bus.width(); ++i)
+    SetInput(bus.bits[static_cast<std::size_t>(i)], (value >> i) & 1ULL);
+}
+
+void LogicSim::Settle() {
+  bool in[3];
+  bool out[2];
+  for (const InstId id : order_) {
+    const netlist::Instance& inst = nl_.inst(id);
+    const int n_in = inst.num_inputs();
+    for (int p = 0; p < n_in; ++p) in[p] = values_[inst.in[p].index()];
+    tech::Evaluate(inst.kind, in, out);
+    for (int o = 0; o < inst.num_outputs(); ++o)
+      values_[inst.out[o].index()] = out[o];
+  }
+}
+
+void LogicSim::Tick() {
+  // Make register D pins reflect the inputs set for this cycle.
+  Settle();
+  // Clock edge: Q <= D for every register, then settle the new cycle.
+  for (const netlist::Instance& inst : nl_.instances()) {
+    if (!inst.is_sequential()) continue;
+    values_[inst.out[0].index()] = values_[inst.in[0].index()];
+  }
+  Settle();
+
+  // Cycle-based activity: one comparison between consecutive post-edge
+  // steady states per net (glitches are not modelled; the power model
+  // absorbs the average glitch factor into the cell internal energy).
+  if (have_prev_) {
+    for (std::size_t n = 0; n < values_.size(); ++n)
+      if (values_[n] != prev_values_[n]) ++toggles_[n];
+    ++cycles_;
+  }
+  prev_values_ = values_;
+  have_prev_ = true;
+}
+
+void LogicSim::Reset() {
+  for (const netlist::Instance& inst : nl_.instances()) {
+    if (inst.is_sequential()) values_[inst.out[0].index()] = false;
+  }
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  cycles_ = 0;
+  have_prev_ = false;
+  Settle();
+}
+
+std::uint64_t LogicSim::ReadBus(const netlist::Bus& bus) const {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bus.width(); ++i)
+    if (Value(bus.bits[static_cast<std::size_t>(i)])) v |= 1ULL << i;
+  return v;
+}
+
+}  // namespace adq::sim

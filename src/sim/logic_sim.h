@@ -1,0 +1,66 @@
+#pragma once
+/// \file logic_sim.h
+/// \brief Cycle-accurate two-valued gate-level logic simulator.
+///
+/// Used for (i) functional verification of the generated operators
+/// against exact integer arithmetic and (ii) switching-activity
+/// extraction for power analysis — the "realistic inputs for
+/// switching activity annotation" / VCD import path of the paper's
+/// optimization phase (Sec. III-C).
+///
+/// Model: combinational settling in topological order once per cycle
+/// (the netlists are register-bounded, so one pass settles exactly),
+/// then a clock edge copies every DFF's D into Q. Toggle counts per
+/// net are accumulated across clocked cycles.
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/words.h"
+#include "netlist/netlist.h"
+#include "netlist/topo.h"
+
+namespace adq::sim {
+
+class LogicSim {
+ public:
+  explicit LogicSim(const netlist::Netlist& nl);
+
+  /// Sets a primary-input port value for the current cycle.
+  void SetInput(netlist::NetId port, bool value);
+
+  /// Sets an input bus from an unsigned word (LSB-first bits).
+  void SetBus(const netlist::Bus& bus, std::uint64_t value);
+
+  /// Propagates values through the combinational network. Must be
+  /// called after changing inputs and before reading outputs.
+  void Settle();
+
+  /// Clock edge: DFF Q <= D, then re-settles. Counts toggles.
+  void Tick();
+
+  /// Resets all state registers to 0 and clears toggle statistics.
+  void Reset();
+
+  bool Value(netlist::NetId net) const { return values_[net.index()]; }
+
+  /// Reads a bus as an unsigned word (LSB-first).
+  std::uint64_t ReadBus(const netlist::Bus& bus) const;
+
+  /// Number of value changes observed on each net at clock edges
+  /// (index = net id). Primary-input changes are counted when the new
+  /// cycle's value differs from the previous cycle's.
+  const std::vector<std::uint64_t>& toggles() const { return toggles_; }
+  std::uint64_t cycles() const { return cycles_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<netlist::InstId> order_;   // topological, comb only
+  std::vector<bool> values_;             // per net
+  std::vector<bool> prev_values_;        // per net, at last clock edge
+  std::vector<std::uint64_t> toggles_;   // per net
+  std::uint64_t cycles_ = 0;
+  bool have_prev_ = false;
+};
+
+}  // namespace adq::sim

@@ -1,0 +1,42 @@
+#include "sim/stimulus.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adq::sim {
+
+std::vector<std::uint64_t> UniformStream(util::Rng& rng, int width, int n) {
+  ADQ_CHECK(width >= 1 && width <= 64 && n >= 0);
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const std::uint64_t mask =
+      (width == 64) ? ~0ULL : ((1ULL << width) - 1ULL);
+  for (int i = 0; i < n; ++i) out.push_back(rng.Word() & mask);
+  return out;
+}
+
+std::vector<std::uint64_t> CorrelatedStream(util::Rng& rng, int width,
+                                            int n, double rho) {
+  ADQ_CHECK(width >= 2 && width <= 63 && n >= 0);
+  ADQ_CHECK(rho >= 0.0 && rho < 1.0);
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  const double full = static_cast<double>((1LL << (width - 1)) - 1);
+  const double scale = 0.6 * full;
+  const double innovation = std::sqrt(1.0 - rho * rho);
+  double state = 0.0;
+  for (int i = 0; i < n; ++i) {
+    state = rho * state + innovation * rng.Gaussian(0.0, 1.0);
+    const double v = std::clamp(state * scale, -full, full);
+    out.push_back(util::FromSigned(static_cast<std::int64_t>(v), width));
+  }
+  return out;
+}
+
+void MaskStream(std::vector<std::uint64_t>& stream, int width,
+                int zeroed_lsbs) {
+  for (std::uint64_t& s : stream)
+    s = util::MaskLsbs(s, width, zeroed_lsbs);
+}
+
+}  // namespace adq::sim

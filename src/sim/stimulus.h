@@ -1,0 +1,36 @@
+#pragma once
+/// \file stimulus.h
+/// \brief Stimulus generators for activity extraction and functional
+/// verification.
+///
+/// The paper's power analysis "can optionally use realistic inputs
+/// for switching activity annotation". We provide uniform-random
+/// operands (worst-ish case activity) and correlated DSP-like streams
+/// (lag-1 autocorrelated Gaussian samples, the classic model for
+/// audio/sensor data) so benches can use realistic traces.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/fixed_point.h"
+#include "util/rng.h"
+
+namespace adq::sim {
+
+/// Produces `n` uniform signed `width`-bit samples (as raw two's
+/// complement words).
+std::vector<std::uint64_t> UniformStream(util::Rng& rng, int width, int n);
+
+/// Produces `n` lag-1 autocorrelated (rho ~ 0.95) Gaussian samples
+/// scaled to ~60% of full scale, saturated to `width` bits — a
+/// DSP-like signal with realistic bit-level activity (low toggling on
+/// high-order bits).
+std::vector<std::uint64_t> CorrelatedStream(util::Rng& rng, int width,
+                                            int n, double rho = 0.95);
+
+/// Applies the DVAS accuracy knob: zeroes `zeroed_lsbs` LSBs of every
+/// sample in place.
+void MaskStream(std::vector<std::uint64_t>& stream, int width,
+                int zeroed_lsbs);
+
+}  // namespace adq::sim

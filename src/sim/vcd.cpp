@@ -1,0 +1,59 @@
+#include "sim/vcd.h"
+
+namespace adq::sim {
+
+VcdRecorder::VcdRecorder(const netlist::Netlist& nl,
+                         std::vector<netlist::NetId> nets)
+    : nl_(nl), nets_(std::move(nets)) {
+  if (nets_.empty()) {
+    for (const netlist::NetId n : nl.primary_inputs()) nets_.push_back(n);
+    for (const netlist::NetId n : nl.primary_outputs()) nets_.push_back(n);
+  }
+  last_.resize(nets_.size(), false);
+}
+
+std::string VcdRecorder::IdCode(std::size_t k) const {
+  // Printable short identifiers: base-94 over ASCII 33..126.
+  std::string code;
+  do {
+    code.push_back(static_cast<char>(33 + (k % 94)));
+    k /= 94;
+  } while (k != 0);
+  return code;
+}
+
+void VcdRecorder::WriteHeader(std::ostream& os, const LogicSim& sim) {
+  os << "$date today $end\n$version adequate-bb $end\n"
+     << "$timescale 1ns $end\n$scope module " << nl_.name() << " $end\n";
+  for (std::size_t k = 0; k < nets_.size(); ++k) {
+    const std::string& port = nl_.PortName(nets_[k]);
+    const std::string name =
+        port.empty() ? ("n" + std::to_string(nets_[k].value)) : port;
+    os << "$var wire 1 " << IdCode(k) << ' ' << name << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+  for (std::size_t k = 0; k < nets_.size(); ++k) {
+    last_[k] = sim.Value(nets_[k]);
+    os << (last_[k] ? '1' : '0') << IdCode(k) << '\n';
+  }
+  os << "$end\n";
+  primed_ = true;
+}
+
+void VcdRecorder::Sample(std::ostream& os, const LogicSim& sim,
+                         std::uint64_t t) {
+  ADQ_CHECK_MSG(primed_, "WriteHeader must be called before Sample");
+  bool any = false;
+  for (std::size_t k = 0; k < nets_.size(); ++k) {
+    const bool v = sim.Value(nets_[k]);
+    if (v == last_[k]) continue;
+    if (!any) {
+      os << '#' << t << '\n';
+      any = true;
+    }
+    os << (v ? '1' : '0') << IdCode(k) << '\n';
+    last_[k] = v;
+  }
+}
+
+}  // namespace adq::sim

@@ -1,0 +1,40 @@
+#pragma once
+/// \file vcd.h
+/// \brief Minimal Value Change Dump (IEEE 1364) writer.
+///
+/// Lets a simulation run be inspected in any waveform viewer and
+/// mirrors the VCD hand-off the paper's flow uses between simulation
+/// and PrimeTime power analysis.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+
+namespace adq::sim {
+
+/// Records selected nets of a LogicSim run into VCD text.
+class VcdRecorder {
+ public:
+  /// Records the given nets; empty selection records all port nets.
+  VcdRecorder(const netlist::Netlist& nl, std::vector<netlist::NetId> nets);
+
+  /// Emits the header (module scope, wire declarations, initial dump).
+  void WriteHeader(std::ostream& os, const LogicSim& sim);
+
+  /// Emits value changes for the current sim state at time `t` (in
+  /// clock cycles). Call once per cycle after LogicSim::Tick().
+  void Sample(std::ostream& os, const LogicSim& sim, std::uint64_t t);
+
+ private:
+  std::string IdCode(std::size_t k) const;
+
+  const netlist::Netlist& nl_;
+  std::vector<netlist::NetId> nets_;
+  std::vector<bool> last_;
+  bool primed_ = false;
+};
+
+}  // namespace adq::sim

@@ -1,0 +1,28 @@
+#include "sta/slack_histogram.h"
+
+namespace adq::sta {
+
+util::Histogram SlackHistogram(const TimingReport& rep, double lo, double hi,
+                               int bins) {
+  ADQ_CHECK_MSG(!rep.endpoints.empty(),
+                "run Analyze with collect_endpoints=true first");
+  util::Histogram h(lo, hi, bins);
+  for (const EndpointTiming& ep : rep.endpoints)
+    if (ep.active) h.Add(ep.slack_ns);
+  return h;
+}
+
+PathClassCounts ClassifyEndpoints(const TimingReport& rep) {
+  PathClassCounts c;
+  for (const EndpointTiming& ep : rep.endpoints) {
+    if (!ep.active)
+      ++c.disabled;
+    else if (ep.slack_ns >= 0.0)
+      ++c.positive;
+    else
+      ++c.negative;
+  }
+  return c;
+}
+
+}  // namespace adq::sta

@@ -1,0 +1,26 @@
+#pragma once
+/// \file slack_histogram.h
+/// \brief Endpoint slack histograms (paper Fig. 1).
+
+#include "sta/sta.h"
+#include "util/histogram.h"
+
+namespace adq::sta {
+
+/// Builds the endpoint-slack histogram of a report produced with
+/// collect_endpoints = true. Disabled endpoints are excluded (they
+/// have no slack). Bin range defaults mirror Fig. 1 (-0.3..0.4 ns,
+/// 0.05 ns bins).
+util::Histogram SlackHistogram(const TimingReport& rep, double lo = -0.3,
+                               double hi = 0.4, int bins = 14);
+
+/// Classification counts for the paper's Fig. 2 path sets:
+/// (1) disabled, (2) positive slack, (3) negative slack.
+struct PathClassCounts {
+  int disabled = 0;
+  int positive = 0;
+  int negative = 0;
+};
+PathClassCounts ClassifyEndpoints(const TimingReport& rep);
+
+}  // namespace adq::sta

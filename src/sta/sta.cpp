@@ -1,0 +1,282 @@
+#include "sta/sta.h"
+
+#include <algorithm>
+
+namespace adq::sta {
+
+using netlist::InstId;
+using netlist::NetId;
+using netlist::Netlist;
+using tech::BiasState;
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+TimingAnalyzer::TimingAnalyzer(const Netlist& nl,
+                               const tech::CellLibrary& lib,
+                               const place::NetLoads& loads)
+    : nl_(nl), lib_(lib) {
+  for (const InstId id : netlist::TopologicalOrder(nl)) {
+    const netlist::Instance& inst = nl.inst(id);
+    if (!inst.is_sequential() && !tech::IsTie(inst.kind))
+      order_.push_back(id);
+  }
+  arrival_.resize(nl.num_nets(), kNegInf);
+  SetLoads(loads);
+}
+
+void TimingAnalyzer::SetLoads(const place::NetLoads& loads) {
+  ADQ_CHECK(loads.cap_ff.size() == nl_.num_nets());
+  base_delay_.assign(nl_.num_instances() * 2, 0.0);
+  wire_delay_.assign(nl_.num_instances() * 2, 0.0);
+  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
+    const netlist::Instance& inst = nl_.instances()[i];
+    const tech::CellVariant& v = lib_.Variant(inst.kind, inst.drive);
+    for (int o = 0; o < inst.num_outputs(); ++o) {
+      const NetId out = inst.out[o];
+      base_delay_[2 * i + (std::size_t)o] =
+          v.d0_ns + v.kd_ns_per_ff * loads.cap_ff[out.index()];
+      wire_delay_[2 * i + (std::size_t)o] =
+          loads.wire_delay_ns[out.index()];
+    }
+  }
+}
+
+TimingReport TimingAnalyzer::Analyze(
+    double vdd, double clock_ns,
+    const std::vector<BiasState>& bias_of_inst,
+    const netlist::CaseAnalysis* ca, bool collect_endpoints) {
+  ADQ_CHECK(bias_of_inst.empty() ||
+            bias_of_inst.size() == nl_.num_instances());
+  // Per-bias-state alpha-power multipliers — all VDD/Vth dependence.
+  const double scale[tech::kNumBiasStates] = {
+      lib_.DelayScale(vdd, BiasState::kNoBB),
+      lib_.DelayScale(vdd, BiasState::kFBB),
+      lib_.DelayScale(vdd, BiasState::kRBB)};
+  auto bias_of = [&](std::uint32_t i) -> int {
+    return bias_of_inst.empty() ? 0
+                                : static_cast<int>(bias_of_inst[i]);
+  };
+  auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
+
+  std::fill(arrival_.begin(), arrival_.end(), kNegInf);
+
+  // Launch: DFF Q pins (clk->Q scaled by the register's own bias) and
+  // primary-input ports (arrive at the clock edge).
+  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
+    const netlist::Instance& inst = nl_.instances()[i];
+    if (!inst.is_sequential()) continue;
+    const NetId q = inst.out[0];
+    if (!net_active(q)) continue;
+    const int b = bias_of(i);
+    // clk->Q: intrinsic + load-dependent part, plus the Q net's wire.
+    arrival_[q.index()] =
+        base_delay_[2 * i] * scale[b] + wire_delay_[2 * i];
+  }
+  for (const NetId pi : nl_.primary_inputs()) {
+    if (net_active(pi)) arrival_[pi.index()] = 0.0;
+  }
+
+  // Topological propagation through active arcs.
+  for (const InstId id : order_) {
+    const std::uint32_t i = id.value;
+    const netlist::Instance& inst = nl_.instances()[i];
+    double in_arr = kNegInf;
+    for (int p = 0; p < inst.num_inputs(); ++p) {
+      const NetId in = inst.in[p];
+      if (!net_active(in)) continue;
+      in_arr = std::max(in_arr, arrival_[in.index()]);
+    }
+    if (in_arr == kNegInf) continue;  // fully constant / unreachable cone
+    const int b = bias_of(i);
+    for (int o = 0; o < inst.num_outputs(); ++o) {
+      const NetId out = inst.out[o];
+      if (!net_active(out)) continue;
+      arrival_[out.index()] = in_arr +
+                              base_delay_[2 * i + (std::size_t)o] * scale[b] +
+                              wire_delay_[2 * i + (std::size_t)o];
+    }
+  }
+
+  // Capture: every DFF D pin is an endpoint.
+  TimingReport rep;
+  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
+    const netlist::Instance& inst = nl_.instances()[i];
+    if (!inst.is_sequential()) continue;
+    const NetId d = inst.in[0];
+    const int b = bias_of(i);
+    const double setup =
+        lib_.Variant(inst.kind, inst.drive).setup_ns * scale[b];
+    const double arr = arrival_[d.index()];
+    const bool active = net_active(d) && arr != kNegInf;
+    EndpointTiming ep;
+    ep.reg = InstId(i);
+    ep.active = active;
+    if (active) {
+      ep.arrival_ns = arr;
+      ep.slack_ns = clock_ns - setup - arr;
+      rep.wns_ns = std::min(rep.wns_ns, ep.slack_ns);
+      ++rep.num_active_endpoints;
+      if (ep.slack_ns < 0.0) ++rep.num_violations;
+    } else {
+      ++rep.num_disabled_endpoints;
+    }
+    if (collect_endpoints) rep.endpoints.push_back(ep);
+  }
+  if (rep.num_active_endpoints == 0) rep.wns_ns = clock_ns;
+  return rep;
+}
+
+TimingReport TimingAnalyzer::AnalyzeWithScales(
+    const std::vector<double>& scale_of_inst, double clock_ns,
+    const netlist::CaseAnalysis* ca) {
+  ADQ_CHECK(scale_of_inst.size() == nl_.num_instances());
+  auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
+
+  std::fill(arrival_.begin(), arrival_.end(), kNegInf);
+  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
+    const netlist::Instance& inst = nl_.instances()[i];
+    if (!inst.is_sequential()) continue;
+    const NetId q = inst.out[0];
+    if (!net_active(q)) continue;
+    arrival_[q.index()] =
+        base_delay_[2 * i] * scale_of_inst[i] + wire_delay_[2 * i];
+  }
+  for (const NetId pi : nl_.primary_inputs())
+    if (net_active(pi)) arrival_[pi.index()] = 0.0;
+
+  for (const InstId id : order_) {
+    const std::uint32_t i = id.value;
+    const netlist::Instance& inst = nl_.instances()[i];
+    double in_arr = kNegInf;
+    for (int p = 0; p < inst.num_inputs(); ++p) {
+      const NetId in = inst.in[p];
+      if (!net_active(in)) continue;
+      in_arr = std::max(in_arr, arrival_[in.index()]);
+    }
+    if (in_arr == kNegInf) continue;
+    for (int o = 0; o < inst.num_outputs(); ++o) {
+      const NetId out = inst.out[o];
+      if (!net_active(out)) continue;
+      arrival_[out.index()] =
+          in_arr + base_delay_[2 * i + (std::size_t)o] * scale_of_inst[i] +
+          wire_delay_[2 * i + (std::size_t)o];
+    }
+  }
+
+  TimingReport rep;
+  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
+    const netlist::Instance& inst = nl_.instances()[i];
+    if (!inst.is_sequential()) continue;
+    const NetId d = inst.in[0];
+    const double setup =
+        lib_.Variant(inst.kind, inst.drive).setup_ns * scale_of_inst[i];
+    const double arr = arrival_[d.index()];
+    if (!net_active(d) || arr == kNegInf) {
+      ++rep.num_disabled_endpoints;
+      continue;
+    }
+    const double slack = clock_ns - setup - arr;
+    rep.wns_ns = std::min(rep.wns_ns, slack);
+    ++rep.num_active_endpoints;
+    if (slack < 0.0) ++rep.num_violations;
+  }
+  if (rep.num_active_endpoints == 0) rep.wns_ns = clock_ns;
+  return rep;
+}
+
+TimingAnalyzer::DetailedTiming TimingAnalyzer::AnalyzeDetailed(
+    double vdd, double clock_ns,
+    const std::vector<BiasState>& bias_of_inst,
+    const netlist::CaseAnalysis* ca) {
+  constexpr double kPosInf = std::numeric_limits<double>::infinity();
+  const double scale[tech::kNumBiasStates] = {
+      lib_.DelayScale(vdd, BiasState::kNoBB),
+      lib_.DelayScale(vdd, BiasState::kFBB),
+      lib_.DelayScale(vdd, BiasState::kRBB)};
+  auto bias_of = [&](std::uint32_t i) -> int {
+    return bias_of_inst.empty() ? 0
+                                : static_cast<int>(bias_of_inst[i]);
+  };
+  auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
+
+  DetailedTiming dt;
+  dt.arrival.assign(nl_.num_nets(), kNegInf);
+  dt.required.assign(nl_.num_nets(), kPosInf);
+
+  // Forward sweep (same model as Analyze).
+  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
+    const netlist::Instance& inst = nl_.instances()[i];
+    if (!inst.is_sequential()) continue;
+    const NetId q = inst.out[0];
+    if (!net_active(q)) continue;
+    dt.arrival[q.index()] =
+        base_delay_[2 * i] * scale[bias_of(i)] + wire_delay_[2 * i];
+  }
+  for (const NetId pi : nl_.primary_inputs())
+    if (net_active(pi)) dt.arrival[pi.index()] = 0.0;
+
+  for (const InstId id : order_) {
+    const std::uint32_t i = id.value;
+    const netlist::Instance& inst = nl_.instances()[i];
+    double in_arr = kNegInf;
+    for (int p = 0; p < inst.num_inputs(); ++p) {
+      const NetId in = inst.in[p];
+      if (!net_active(in)) continue;
+      in_arr = std::max(in_arr, dt.arrival[in.index()]);
+    }
+    if (in_arr == kNegInf) continue;
+    const int b = bias_of(i);
+    for (int o = 0; o < inst.num_outputs(); ++o) {
+      const NetId out = inst.out[o];
+      if (!net_active(out)) continue;
+      dt.arrival[out.index()] = in_arr +
+                                base_delay_[2 * i + (std::size_t)o] * scale[b] +
+                                wire_delay_[2 * i + (std::size_t)o];
+    }
+  }
+
+  // Backward sweep: required time at capture D pins, propagated back.
+  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
+    const netlist::Instance& inst = nl_.instances()[i];
+    if (!inst.is_sequential()) continue;
+    const NetId d = inst.in[0];
+    if (!net_active(d)) continue;
+    const double setup =
+        lib_.Variant(inst.kind, inst.drive).setup_ns * scale[bias_of(i)];
+    dt.required[d.index()] =
+        std::min(dt.required[d.index()], clock_ns - setup);
+  }
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    const std::uint32_t i = it->value;
+    const netlist::Instance& inst = nl_.instances()[i];
+    const int b = bias_of(i);
+    double req_in = kPosInf;
+    for (int o = 0; o < inst.num_outputs(); ++o) {
+      const NetId out = inst.out[o];
+      if (!net_active(out)) continue;
+      req_in = std::min(req_in,
+                        dt.required[out.index()] -
+                            base_delay_[2 * i + (std::size_t)o] * scale[b] -
+                            wire_delay_[2 * i + (std::size_t)o]);
+    }
+    if (req_in == kPosInf) continue;
+    for (int p = 0; p < inst.num_inputs(); ++p) {
+      const NetId in = inst.in[p];
+      if (!net_active(in)) continue;
+      dt.required[in.index()] = std::min(dt.required[in.index()], req_in);
+    }
+  }
+
+  for (std::uint32_t n = 0; n < nl_.num_nets(); ++n) {
+    const NetId id(n);
+    if (!net_active(id)) continue;
+    if (dt.arrival[n] == kNegInf || dt.required[n] == kPosInf) continue;
+    dt.wns_ns = std::min(dt.wns_ns, dt.required[n] - dt.arrival[n]);
+  }
+  if (dt.wns_ns == kPosInf) dt.wns_ns = clock_ns;
+  return dt;
+}
+
+}  // namespace adq::sta

@@ -1,0 +1,121 @@
+#pragma once
+/// \file sta.h
+/// \brief Static timing analysis under (VDD, per-cell back-bias).
+///
+/// This is the feasibility oracle of the whole methodology: the
+/// exhaustive exploration (paper Sec. III-C) runs STA for every
+/// (BB-assignment, bitwidth, VDD) point and discards any point with a
+/// timing violation (~75% of points, per the paper). The analyzer is
+/// therefore built for repeated evaluation:
+///
+///   * the load-dependent part of every cell delay is precomputed
+///     once per netlist+parasitics;
+///   * VDD/Vth only enter through two global alpha-power scale
+///     factors (one per bias state), so re-analysis under a new knob
+///     assignment is a single topological sweep with no allocation;
+///   * case analysis (zeroed input LSBs) deactivates paths exactly as
+///     the paper's Fig. 2 describes: arcs from constant nets carry no
+///     events, endpoints whose cone is fully constant are disabled.
+///
+/// Timing model: registered operators; startpoints are DFF clk->Q,
+/// endpoints are DFF D pins with setup; wire delay is a lumped
+/// unscaled Elmore term (metal RC does not scale with Vth/VDD).
+
+#include <limits>
+#include <vector>
+
+#include "netlist/case_analysis.h"
+#include "netlist/netlist.h"
+#include "netlist/topo.h"
+#include "place/wirelength.h"
+#include "tech/cell_library.h"
+
+namespace adq::sta {
+
+/// Timing state of one capture register (endpoint).
+struct EndpointTiming {
+  netlist::InstId reg;     ///< the capturing DFF
+  double arrival_ns = 0.0;
+  double slack_ns = 0.0;
+  bool active = true;      ///< false = disabled by case analysis
+};
+
+struct TimingReport {
+  double wns_ns = std::numeric_limits<double>::infinity();  ///< worst slack
+  int num_violations = 0;
+  int num_active_endpoints = 0;
+  int num_disabled_endpoints = 0;
+  std::vector<EndpointTiming> endpoints;  ///< only if collect_endpoints
+
+  bool feasible() const { return num_violations == 0; }
+};
+
+class TimingAnalyzer {
+ public:
+  TimingAnalyzer(const netlist::Netlist& nl, const tech::CellLibrary& lib,
+                 const place::NetLoads& loads);
+
+  /// Re-extracts the load-dependent delay tables (call after the
+  /// incremental placement changed parasitics or after resizing).
+  void SetLoads(const place::NetLoads& loads);
+
+  /// Runs one STA.
+  /// \param bias_of_inst  back-bias state per instance (index = id);
+  ///                      empty means all-NoBB.
+  /// \param ca            optional case analysis (zeroed LSBs);
+  ///                      nullptr analyses the full-bitwidth circuit.
+  /// \param collect_endpoints  fill TimingReport::endpoints (needed
+  ///                      for histograms; skip in the hot filter loop).
+  TimingReport Analyze(double vdd, double clock_ns,
+                       const std::vector<tech::BiasState>& bias_of_inst,
+                       const netlist::CaseAnalysis* ca = nullptr,
+                       bool collect_endpoints = false);
+
+  /// STA with an arbitrary per-instance delay multiplier (index =
+  /// instance id) instead of the (VDD, bias) model — the entry point
+  /// for alternative knob studies such as per-domain supply voltages
+  /// (core/vdd_islands.h). Semantics otherwise match Analyze.
+  TimingReport AnalyzeWithScales(const std::vector<double>& scale_of_inst,
+                                 double clock_ns,
+                                 const netlist::CaseAnalysis* ca = nullptr);
+
+  /// Per-net arrival/required times (forward + backward sweep). Used
+  /// by the sizing optimizer, which needs the slack *through* every
+  /// cell, not just at endpoints. Inactive nets hold -inf / +inf.
+  struct DetailedTiming {
+    std::vector<double> arrival;
+    std::vector<double> required;
+    double wns_ns = std::numeric_limits<double>::infinity();
+
+    double SlackOf(netlist::NetId n) const {
+      return required[n.index()] - arrival[n.index()];
+    }
+    bool ActiveNet(netlist::NetId n) const {
+      return arrival[n.index()] !=
+                 -std::numeric_limits<double>::infinity() &&
+             required[n.index()] !=
+                 std::numeric_limits<double>::infinity();
+    }
+  };
+  DetailedTiming AnalyzeDetailed(
+      double vdd, double clock_ns,
+      const std::vector<tech::BiasState>& bias_of_inst,
+      const netlist::CaseAnalysis* ca = nullptr);
+
+  const netlist::Netlist& nl() const { return nl_; }
+  const tech::CellLibrary& lib() const { return lib_; }
+
+ private:
+  const netlist::Netlist& nl_;
+  const tech::CellLibrary& lib_;
+  std::vector<netlist::InstId> order_;  // topological, comb cells only
+
+  // Precomputed per output pin (flattened 2 per instance):
+  // base_delay = d0 + kd * Cload (to be scaled), wire = fixed term.
+  std::vector<double> base_delay_;
+  std::vector<double> wire_delay_;
+
+  std::vector<double> arrival_;  // per net, scratch
+};
+
+}  // namespace adq::sta

@@ -1,0 +1,106 @@
+#pragma once
+/// \file back_bias.h
+/// \brief Back-biasing model for UTBB FDSOI (28nm-class).
+///
+/// The paper (Sec. II-C) relies on two facts about 28nm UTBB FDSOI:
+///   * the applicable back-bias (BB) range spans more than 2 V thanks
+///     to the buried-oxide back-gate (vs ±300 mV for bulk body bias);
+///   * the body factor (sensitivity of Vth to the BB voltage) is about
+///     85 mV/V.
+/// The methodology restricts runtime assignments to two states per
+/// domain: NoBB (standard Vth, "SVT") and FBB (forward back-bias at
+/// ±1.1 V on the wells, "LVT"), which keeps both the design-space
+/// exploration and the on-die bias generation (two charge pumps plus
+/// power switches) simple. This header models exactly that knob while
+/// staying parametric in the underlying voltages.
+
+#include <string>
+
+#include "util/check.h"
+
+namespace adq::tech {
+
+/// Runtime back-bias state of one Vth domain.
+/// NoBB = wells grounded, nominal (standard) threshold voltage.
+/// FBB  = forward back-bias, threshold lowered -> faster and leakier.
+/// RBB  = reverse back-bias, threshold raised -> slow but an order of
+///        magnitude less leaky; a *sleep* state for domains whose
+///        logic is disabled or far from critical in the selected
+///        accuracy mode. The paper restricts its exploration to
+///        {NoBB, FBB}; RBB is the natural extension it mentions the
+///        FDSOI back-gate supports (the >2 V range of Sec. II-C) and
+///        is provided here as an optional post-pass.
+enum class BiasState { kNoBB = 0, kFBB = 1, kRBB = 2 };
+
+inline constexpr int kNumBiasStates = 3;
+
+inline const char* ToString(BiasState s) {
+  switch (s) {
+    case BiasState::kNoBB: return "NoBB";
+    case BiasState::kFBB: return "FBB";
+    case BiasState::kRBB: return "RBB";
+  }
+  return "?";
+}
+
+/// Static parameters of the back-bias mechanism.
+/// Defaults reproduce the paper's technology: 85 mV/V body factor and
+/// a ±1.1 V FBB well voltage.
+struct BackBiasParams {
+  double body_factor_v_per_v = 0.085;  ///< dVth / dVBB [V/V]
+  double fbb_well_voltage_v = 1.1;     ///< |VBB| applied in FBB state [V]
+  /// Guardband width separating adjacent deep-N-well BB domains [um]
+  /// (paper: ~3.5 um, comparable to the 1.2 um standard-cell height).
+  double guardband_um = 3.5;
+  /// Drive-current boost of forward back-bias beyond the pure Vth
+  /// shift (mobility / DIBL / velocity effects). Measured FDSOI
+  /// silicon shows FBB buys 30-40% speed at the nominal supply — more
+  /// than the alpha-power law predicts from dVth alone (cf. the
+  /// paper's ref [17], an FDSOI DSP with FBB fmax tracking). Delay of
+  /// a NoBB cell is this factor times slower than the same cell under
+  /// FBB at equal (VDD, Vth-shifted) conditions.
+  double fbb_drive_factor = 1.25;
+  /// |VBB| applied in the RBB sleep state [V].
+  double rbb_well_voltage_v = 1.1;
+  /// Extra drive penalty of reverse bias beyond the Vth shift
+  /// (mirror of fbb_drive_factor on the slow side).
+  double rbb_drive_factor = 1.45;
+
+  /// Threshold-voltage shift produced by a bias state (<= 0 for FBB).
+  double VthShift(BiasState s) const {
+    switch (s) {
+      case BiasState::kFBB:
+        return -body_factor_v_per_v * fbb_well_voltage_v;
+      case BiasState::kRBB:
+        return body_factor_v_per_v * rbb_well_voltage_v;
+      case BiasState::kNoBB:
+        break;
+    }
+    return 0.0;
+  }
+
+  /// Multiplicative delay penalty of a state relative to FBB drive.
+  double DrivePenalty(BiasState s) const {
+    switch (s) {
+      case BiasState::kFBB: return 1.0;
+      case BiasState::kRBB: return rbb_drive_factor;
+      case BiasState::kNoBB: break;
+    }
+    return fbb_drive_factor;
+  }
+};
+
+/// Nominal (NoBB) threshold voltage plus the bias mechanism; yields
+/// the effective Vth for each bias state.
+struct ThresholdModel {
+  double vth0_v = 0.35;  ///< SVT threshold at NoBB, 28nm-class [V]
+  BackBiasParams bb;
+
+  double Vth(BiasState s) const {
+    const double v = vth0_v + bb.VthShift(s);
+    ADQ_DCHECK(v > 0.0);
+    return v;
+  }
+};
+
+}  // namespace adq::tech

@@ -1,0 +1,187 @@
+#pragma once
+/// \file cell.h
+/// \brief Standard-cell kinds: logic function, pin counts, evaluation.
+///
+/// The library is deliberately small but sufficient to technology-map
+/// the paper's three operators (Booth multiplier, FFT butterfly, FIR)
+/// plus the adder/compressor substrates: basic gates, a 2:1 mux,
+/// AOI/OAI complex gates, half/full adders and a D flip-flop.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/check.h"
+
+namespace adq::tech {
+
+enum class CellKind : std::uint8_t {
+  kTieLo,   // constant 0
+  kTieHi,   // constant 1
+  kBuf,
+  kInv,
+  kNand2,
+  kNor2,
+  kAnd2,
+  kOr2,
+  kXor2,
+  kXnor2,
+  kNand3,
+  kNor3,
+  kAnd3,
+  kOr3,
+  kAoi21,   // !((a & b) | c)
+  kOai21,   // !((a | b) & c)
+  kMux2,    // s ? d1 : d0   (inputs: d0, d1, s)
+  kHa,      // outputs: sum = a^b, carry = a&b
+  kFa,      // outputs: sum = a^b^ci, cout = majority
+  kDff,     // D flip-flop: input D, output Q (clock implicit)
+  kCount_,  // sentinel
+};
+
+inline constexpr int kNumCellKinds = static_cast<int>(CellKind::kCount_);
+
+/// Available drive strengths. Sizing optimization moves cells along
+/// this axis: a larger drive has proportionally lower load sensitivity
+/// but larger input capacitance, area and leakage. X0P5/X0P25 are the
+/// power-recovery variants (weak, low-leakage) that synthesis swaps
+/// onto slack paths — the mechanism behind the wall of slack; the
+/// deep X0P25 step is what lets recovery push shallow cones all the
+/// way to the wall, as aggressive area/power recovery does in
+/// commercial flows.
+enum class DriveStrength : std::uint8_t {
+  kX0P25 = 0,
+  kX0P5 = 1,
+  kX1 = 2,
+  kX2 = 3,
+  kX4 = 4,
+};
+inline constexpr int kNumDrives = 5;
+
+/// Multiplicative size of a drive strength (0.25, 0.5, 1, 2, 4).
+inline double DriveSize(DriveStrength d) {
+  return 0.25 * static_cast<double>(1u << static_cast<unsigned>(d));
+}
+
+inline std::string_view ToString(CellKind k) {
+  switch (k) {
+    case CellKind::kTieLo: return "TIELO";
+    case CellKind::kTieHi: return "TIEHI";
+    case CellKind::kBuf: return "BUF";
+    case CellKind::kInv: return "INV";
+    case CellKind::kNand2: return "NAND2";
+    case CellKind::kNor2: return "NOR2";
+    case CellKind::kAnd2: return "AND2";
+    case CellKind::kOr2: return "OR2";
+    case CellKind::kXor2: return "XOR2";
+    case CellKind::kXnor2: return "XNOR2";
+    case CellKind::kNand3: return "NAND3";
+    case CellKind::kNor3: return "NOR3";
+    case CellKind::kAnd3: return "AND3";
+    case CellKind::kOr3: return "OR3";
+    case CellKind::kAoi21: return "AOI21";
+    case CellKind::kOai21: return "OAI21";
+    case CellKind::kMux2: return "MUX2";
+    case CellKind::kHa: return "HA";
+    case CellKind::kFa: return "FA";
+    case CellKind::kDff: return "DFF";
+    case CellKind::kCount_: break;
+  }
+  return "?";
+}
+
+inline std::string_view ToString(DriveStrength d) {
+  switch (d) {
+    case DriveStrength::kX0P25: return "X0P25";
+    case DriveStrength::kX0P5: return "X0P5";
+    case DriveStrength::kX1: return "X1";
+    case DriveStrength::kX2: return "X2";
+    case DriveStrength::kX4: return "X4";
+  }
+  return "?";
+}
+
+/// Number of data input pins of a kind (DFF counts only D; the clock
+/// is an implicit global and is handled separately for power).
+inline int NumInputs(CellKind k) {
+  switch (k) {
+    case CellKind::kTieLo:
+    case CellKind::kTieHi: return 0;
+    case CellKind::kBuf:
+    case CellKind::kInv:
+    case CellKind::kDff: return 1;
+    case CellKind::kNand2:
+    case CellKind::kNor2:
+    case CellKind::kAnd2:
+    case CellKind::kOr2:
+    case CellKind::kXor2:
+    case CellKind::kXnor2:
+    case CellKind::kHa: return 2;
+    case CellKind::kNand3:
+    case CellKind::kNor3:
+    case CellKind::kAnd3:
+    case CellKind::kOr3:
+    case CellKind::kAoi21:
+    case CellKind::kOai21:
+    case CellKind::kMux2:
+    case CellKind::kFa: return 3;
+    case CellKind::kCount_: break;
+  }
+  ADQ_CHECK_MSG(false, "bad cell kind");
+  return 0;
+}
+
+/// Number of output pins (HA and FA have two).
+inline int NumOutputs(CellKind k) {
+  switch (k) {
+    case CellKind::kHa:
+    case CellKind::kFa: return 2;
+    default: return 1;
+  }
+}
+
+inline bool IsSequential(CellKind k) { return k == CellKind::kDff; }
+inline bool IsTie(CellKind k) {
+  return k == CellKind::kTieLo || k == CellKind::kTieHi;
+}
+
+/// Combinational evaluation: given input bits (NumInputs of them),
+/// writes NumOutputs bits to `out`. DFF is evaluated transparently
+/// (Q = D) because the simulator operates cycle-accurately on the
+/// combinational cloud between register boundaries.
+inline void Evaluate(CellKind k, const bool* in, bool* out) {
+  switch (k) {
+    case CellKind::kTieLo: out[0] = false; return;
+    case CellKind::kTieHi: out[0] = true; return;
+    case CellKind::kBuf: out[0] = in[0]; return;
+    case CellKind::kInv: out[0] = !in[0]; return;
+    case CellKind::kNand2: out[0] = !(in[0] && in[1]); return;
+    case CellKind::kNor2: out[0] = !(in[0] || in[1]); return;
+    case CellKind::kAnd2: out[0] = in[0] && in[1]; return;
+    case CellKind::kOr2: out[0] = in[0] || in[1]; return;
+    case CellKind::kXor2: out[0] = in[0] != in[1]; return;
+    case CellKind::kXnor2: out[0] = in[0] == in[1]; return;
+    case CellKind::kNand3: out[0] = !(in[0] && in[1] && in[2]); return;
+    case CellKind::kNor3: out[0] = !(in[0] || in[1] || in[2]); return;
+    case CellKind::kAnd3: out[0] = in[0] && in[1] && in[2]; return;
+    case CellKind::kOr3: out[0] = in[0] || in[1] || in[2]; return;
+    case CellKind::kAoi21: out[0] = !((in[0] && in[1]) || in[2]); return;
+    case CellKind::kOai21: out[0] = !((in[0] || in[1]) && in[2]); return;
+    case CellKind::kMux2: out[0] = in[2] ? in[1] : in[0]; return;
+    case CellKind::kHa:
+      out[0] = in[0] != in[1];
+      out[1] = in[0] && in[1];
+      return;
+    case CellKind::kFa: {
+      const bool a = in[0], b = in[1], c = in[2];
+      out[0] = (a != b) != c;
+      out[1] = (a && b) || (c && (a != b));
+      return;
+    }
+    case CellKind::kDff: out[0] = in[0]; return;
+    case CellKind::kCount_: break;
+  }
+  ADQ_CHECK_MSG(false, "bad cell kind in Evaluate");
+}
+
+}  // namespace adq::tech

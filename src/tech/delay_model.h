@@ -1,0 +1,64 @@
+#pragma once
+/// \file delay_model.h
+/// \brief Alpha-power-law gate-delay scaling vs (VDD, Vth).
+///
+/// Cell delays in the library are characterized at a reference
+/// operating point (the paper implements at VDD = 1.0 V with an
+/// all-FBB characterization, Sec. IV-A). At any other (VDD, Vth) the
+/// delay scales by the classic alpha-power law
+///
+///     d(VDD, Vth) = d_ref * [ VDD / (VDD - Vth)^alpha ]
+///                         / [ Vref / (Vref - Vth_ref)^alpha ]
+///
+/// with alpha ~ 1.4 for a 28nm-class node. This captures the two
+/// effects the methodology exploits: lowering VDD slows all cells
+/// superlinearly (the DVAS knob), and lowering Vth via FBB speeds a
+/// cell up at fixed VDD (the paper's new knob).
+
+#include <cmath>
+
+#include "tech/back_bias.h"
+#include "util/check.h"
+
+namespace adq::tech {
+
+/// Velocity-saturation exponent and reference point for delay scaling.
+class DelayModel {
+ public:
+  /// \param vref      reference supply at characterization [V]
+  /// \param vth_ref   reference threshold at characterization [V]
+  /// \param alpha     alpha-power exponent (1 = long-channel-free,
+  ///                  2 = quadratic; ~1.3-1.5 for short channel)
+  DelayModel(double vref, double vth_ref, double alpha)
+      : vref_(vref), vth_ref_(vth_ref), alpha_(alpha) {
+    ADQ_CHECK(vref > vth_ref && vth_ref > 0.0);
+    ADQ_CHECK(alpha >= 1.0 && alpha <= 2.0);
+    ref_drive_ = Drive(vref_, vth_ref_);
+  }
+
+  /// Multiplicative delay factor relative to the reference point.
+  /// Requires VDD > Vth (the gate must be able to switch); callers
+  /// enforce this by construction (minimum VDD 0.6 V, max Vth 0.35 V).
+  double ScaleFactor(double vdd, double vth) const {
+    ADQ_CHECK_MSG(vdd > vth,
+                  "VDD " << vdd << " V must exceed Vth " << vth << " V");
+    return Drive(vdd, vth) / ref_drive_;
+  }
+
+  double vref() const { return vref_; }
+  double vth_ref() const { return vth_ref_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  // "Drive" here is the delay-proportional quantity VDD/(VDD-Vth)^a.
+  double Drive(double vdd, double vth) const {
+    return vdd / std::pow(vdd - vth, alpha_);
+  }
+
+  double vref_;
+  double vth_ref_;
+  double alpha_;
+  double ref_drive_ = 1.0;
+};
+
+}  // namespace adq::tech

@@ -1,0 +1,110 @@
+#include "tech/liberty_writer.h"
+
+#include <sstream>
+
+namespace adq::tech {
+
+namespace {
+
+const char* PinName(CellKind k, bool output, int pin) {
+  if (output) {
+    if (k == CellKind::kHa || k == CellKind::kFa)
+      return pin == 0 ? "S" : "CO";
+    if (k == CellKind::kDff) return "Q";
+    return "Z";
+  }
+  if (k == CellKind::kDff) return "D";
+  if (k == CellKind::kMux2) return pin == 0 ? "D0" : (pin == 1 ? "D1" : "S");
+  if (k == CellKind::kFa) return pin == 0 ? "A" : (pin == 1 ? "B" : "CI");
+  static const char* kAbc[] = {"A", "B", "C"};
+  return kAbc[pin];
+}
+
+/// Liberty boolean function strings for the documentation attribute.
+const char* FunctionOf(CellKind k) {
+  switch (k) {
+    case CellKind::kTieLo: return "0";
+    case CellKind::kTieHi: return "1";
+    case CellKind::kBuf: return "A";
+    case CellKind::kInv: return "!A";
+    case CellKind::kNand2: return "!(A & B)";
+    case CellKind::kNor2: return "!(A | B)";
+    case CellKind::kAnd2: return "A & B";
+    case CellKind::kOr2: return "A | B";
+    case CellKind::kXor2: return "A ^ B";
+    case CellKind::kXnor2: return "!(A ^ B)";
+    case CellKind::kNand3: return "!(A & B & C)";
+    case CellKind::kNor3: return "!(A | B | C)";
+    case CellKind::kAnd3: return "A & B & C";
+    case CellKind::kOr3: return "A | B | C";
+    case CellKind::kAoi21: return "!((A & B) | C)";
+    case CellKind::kOai21: return "!((A | B) & C)";
+    case CellKind::kMux2: return "(S & D1) | (!S & D0)";
+    case CellKind::kHa: return "A ^ B";   // S pin; CO documented below
+    case CellKind::kFa: return "A ^ B ^ CI";
+    case CellKind::kDff: return "IQ";
+    case CellKind::kCount_: break;
+  }
+  return "";
+}
+
+}  // namespace
+
+void WriteLiberty(const CellLibrary& lib, double vdd, BiasState bias,
+                  std::ostream& os) {
+  os << "/* synthetic 28nm-FDSOI-class library, corner VDD=" << vdd
+     << "V bias=" << ToString(bias) << " */\n";
+  os << "library (adq_fdsoi28_" << ToString(bias) << ") {\n";
+  os << "  delay_model : table_lookup;\n";
+  os << "  time_unit : \"1ns\";\n  voltage_unit : \"1V\";\n"
+     << "  capacitive_load_unit (1, ff);\n  leakage_power_unit : \"1W\";\n";
+  os << "  nom_voltage : " << vdd << ";\n\n";
+
+  for (int ki = 0; ki < kNumCellKinds; ++ki) {
+    const auto kind = static_cast<CellKind>(ki);
+    for (int di = 0; di < kNumDrives; ++di) {
+      const auto drive = static_cast<DriveStrength>(di);
+      const CellVariant& v = lib.Variant(kind, drive);
+      const CellTiming t = lib.At(kind, drive, vdd, bias);
+      os << "  cell (" << ToString(kind) << "_" << ToString(drive)
+         << ") {\n";
+      os << "    area : " << lib.AreaUm2(kind, drive) << ";\n";
+      os << "    cell_leakage_power : "
+         << lib.LeakagePower(kind, drive, vdd, bias) << ";\n";
+      for (int p = 0; p < NumInputs(kind); ++p) {
+        os << "    pin (" << PinName(kind, false, p) << ") {\n"
+           << "      direction : input;\n"
+           << "      capacitance : " << v.cap_in_ff << ";\n    }\n";
+      }
+      if (kind == CellKind::kDff) {
+        os << "    ff (IQ, IQN) { clocked_on : \"CK\"; next_state : "
+              "\"D\"; }\n";
+        os << "    pin (CK) { direction : input; clock : true; "
+              "capacitance : "
+           << v.cap_clk_ff << "; }\n";
+      }
+      for (int o = 0; o < NumOutputs(kind); ++o) {
+        os << "    pin (" << PinName(kind, true, o) << ") {\n"
+           << "      direction : output;\n"
+           << "      function : \"" << FunctionOf(kind) << "\";\n"
+           << "      timing () {\n"
+           << "        /* d = " << t.d0_ns << " + " << t.kd_ns_per_ff
+           << " * Cload */\n"
+           << "        cell_rise (scalar) { values (\"" << t.d0_ns
+           << "\"); }\n"
+           << "        rise_resistance : " << t.kd_ns_per_ff << ";\n"
+           << "      }\n    }\n";
+      }
+      os << "  }\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string ToLiberty(const CellLibrary& lib, double vdd, BiasState bias) {
+  std::ostringstream os;
+  WriteLiberty(lib, vdd, bias, os);
+  return os.str();
+}
+
+}  // namespace adq::tech

@@ -1,0 +1,25 @@
+#pragma once
+/// \file liberty_writer.h
+/// \brief Liberty (.lib) dump of the synthetic cell library.
+///
+/// Emits one Liberty library per (operating corner): cell areas, pin
+/// capacitances, linear timing coefficients and leakage — the
+/// interchange format the paper's flow moves between Synopsys and
+/// Cadence tools. Useful for inspecting the calibration and for
+/// feeding the synthetic technology to external tooling.
+
+#include <ostream>
+#include <string>
+
+#include "tech/cell_library.h"
+
+namespace adq::tech {
+
+/// Writes the library characterized at (vdd, bias) to `os`.
+void WriteLiberty(const CellLibrary& lib, double vdd, BiasState bias,
+                  std::ostream& os);
+
+/// Convenience: Liberty text as a string.
+std::string ToLiberty(const CellLibrary& lib, double vdd, BiasState bias);
+
+}  // namespace adq::tech

@@ -1,0 +1,61 @@
+#pragma once
+/// \file check.h
+/// \brief Lightweight runtime checking used across the library.
+///
+/// The library is a design-automation tool: on contract violation we
+/// want a loud, immediate failure with context, not UB. ADQ_CHECK is
+/// always on (it guards algorithmic invariants whose cost is trivial
+/// compared to STA/placement); ADQ_DCHECK compiles out in release
+/// builds and is used inside hot loops.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace adq {
+
+/// Exception thrown on a failed ADQ_CHECK. Deriving from
+/// std::logic_error: a failed check is a programming/contract error,
+/// not an environmental one.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFail(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ADQ_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace adq
+
+/// Always-on invariant check. Usage: ADQ_CHECK(x > 0) or
+/// ADQ_CHECK_MSG(x > 0, "x came from ...").
+#define ADQ_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::adq::detail::CheckFail(#expr, __FILE__, __LINE__, {});       \
+  } while (0)
+
+#define ADQ_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) {                                                   \
+      std::ostringstream adq_check_os;                               \
+      adq_check_os << msg;                                           \
+      ::adq::detail::CheckFail(#expr, __FILE__, __LINE__,            \
+                               adq_check_os.str());                  \
+    }                                                                \
+  } while (0)
+
+#ifdef NDEBUG
+#define ADQ_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define ADQ_DCHECK(expr) ADQ_CHECK(expr)
+#endif

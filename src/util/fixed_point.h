@@ -1,0 +1,63 @@
+#pragma once
+/// \file fixed_point.h
+/// \brief Fixed-point helpers shared by generators, the logic
+/// simulator, and the accuracy/error models.
+///
+/// Operators in the paper are 16-bit fixed-point; runtime accuracy
+/// scaling zeroes LSBs of the inputs (DVAS-style). These helpers
+/// implement that masking plus two's-complement (de)coding so error
+/// metrics can be computed against exact arithmetic.
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace adq::util {
+
+/// Zeroes the `zeroed_lsbs` least-significant bits of a `width`-bit
+/// unsigned word — the DVAS accuracy knob applied to one operand.
+/// `zeroed_lsbs` may equal `width` (all bits dropped -> 0).
+inline std::uint64_t MaskLsbs(std::uint64_t value, int width,
+                              int zeroed_lsbs) {
+  ADQ_DCHECK(width >= 1 && width <= 64);
+  ADQ_DCHECK(zeroed_lsbs >= 0 && zeroed_lsbs <= width);
+  const std::uint64_t keep =
+      (width == 64) ? ~0ULL : ((1ULL << width) - 1ULL);
+  if (zeroed_lsbs >= 64) return 0;
+  return value & keep & ~((1ULL << zeroed_lsbs) - 1ULL);
+}
+
+/// Interprets the low `width` bits of `raw` as a two's-complement
+/// signed integer.
+inline std::int64_t ToSigned(std::uint64_t raw, int width) {
+  ADQ_DCHECK(width >= 1 && width <= 64);
+  if (width == 64) return static_cast<std::int64_t>(raw);
+  const std::uint64_t mask = (1ULL << width) - 1ULL;
+  raw &= mask;
+  const std::uint64_t sign = 1ULL << (width - 1);
+  if (raw & sign) return static_cast<std::int64_t>(raw | ~mask);
+  return static_cast<std::int64_t>(raw);
+}
+
+/// Encodes a signed integer into the low `width` bits (two's
+/// complement). Value must be representable.
+inline std::uint64_t FromSigned(std::int64_t value, int width) {
+  ADQ_DCHECK(width >= 1 && width <= 64);
+  if (width < 64) {
+#ifndef NDEBUG
+    const std::int64_t lo = -(std::int64_t{1} << (width - 1));
+    const std::int64_t hi = (std::int64_t{1} << (width - 1)) - 1;
+    ADQ_DCHECK(value >= lo && value <= hi);
+#endif
+    return static_cast<std::uint64_t>(value) & ((1ULL << width) - 1ULL);
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Extracts bit `i` of `word`.
+inline bool Bit(std::uint64_t word, int i) {
+  ADQ_DCHECK(i >= 0 && i < 64);
+  return (word >> i) & 1ULL;
+}
+
+}  // namespace adq::util

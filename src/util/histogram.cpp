@@ -1,0 +1,58 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace adq::util {
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / bins), counts_(bins, 0) {
+  ADQ_CHECK(hi > lo);
+  ADQ_CHECK(bins >= 1);
+}
+
+int Histogram::BinOf(double sample) const {
+  const int raw = static_cast<int>(std::floor((sample - lo_) / width_));
+  return std::clamp(raw, 0, bins() - 1);
+}
+
+void Histogram::Add(double sample) {
+  ++counts_[static_cast<std::size_t>(BinOf(sample))];
+  ++total_;
+}
+
+double Histogram::bin_lo(int b) const { return lo_ + b * width_; }
+double Histogram::bin_hi(int b) const { return lo_ + (b + 1) * width_; }
+
+long Histogram::count(int b) const {
+  ADQ_CHECK(b >= 0 && b < bins());
+  return counts_[static_cast<std::size_t>(b)];
+}
+
+std::string Histogram::Render(double violation_mark,
+                              const std::string& label) const {
+  std::ostringstream os;
+  os << label << " (n=" << total_ << ")\n";
+  const long maxc = counts_.empty()
+                        ? 1
+                        : std::max<long>(1, *std::max_element(
+                                                counts_.begin(),
+                                                counts_.end()));
+  for (int b = 0; b < bins(); ++b) {
+    const bool violating = bin_hi(b) <= violation_mark;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "  [%+7.3f, %+7.3f) %5ld ",
+                  bin_lo(b), bin_hi(b), count(b));
+    os << buf;
+    const int width = static_cast<int>(40.0 * count(b) / maxc);
+    for (int i = 0; i < width; ++i) os << (violating ? 'X' : '#');
+    if (violating && count(b) > 0) os << "  <-- violating";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace adq::util

@@ -1,0 +1,58 @@
+#pragma once
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation.
+///
+/// All stochastic parts of the library (stimulus vectors, placement
+/// perturbations) draw from an explicitly seeded Rng so that tests and
+/// benchmark reproductions are bit-identical across runs and machines.
+
+#include <cstdint>
+#include <random>
+
+#include "util/check.h"
+
+namespace adq::util {
+
+/// Thin deterministic wrapper over std::mt19937_64 with convenience
+/// draws. Copyable (copies reproduce the stream from the same state).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xADEC0DEULL) : eng_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    ADQ_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(eng_);
+  }
+
+  /// Uniform unsigned 64-bit word.
+  std::uint64_t Word() { return eng_(); }
+
+  /// Uniform real in [0, 1).
+  double Uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(eng_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi) {
+    ADQ_DCHECK(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(eng_);
+  }
+
+  /// Standard normal draw scaled to (mean, stddev).
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(eng_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Flip(double p = 0.5) {
+    return std::bernoulli_distribution(p)(eng_);
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace adq::util

@@ -1,0 +1,37 @@
+#pragma once
+/// \file table.h
+/// \brief Minimal aligned-text and CSV table writer for bench output.
+///
+/// The benchmark harnesses print the same rows/series the paper's
+/// tables and figures report; this helper keeps that output aligned
+/// and machine-greppable.
+
+#include <string>
+#include <vector>
+
+namespace adq::util {
+
+/// Column-aligned table. Rows are added as already-formatted strings;
+/// numeric helpers format with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with padded columns and a separator under the header.
+  std::string Render() const;
+
+  /// Renders as CSV (no escaping needed for our numeric content).
+  std::string RenderCsv() const;
+
+  static std::string Num(double v, int precision = 4);
+  static std::string Sci(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace adq::util

@@ -1,0 +1,52 @@
+#pragma once
+/// Shared test scaffolding: raw (unregistered) word-level I/O for
+/// exercising combinational generators with the logic simulator.
+
+#include <string>
+
+#include "gen/words.h"
+#include "netlist/netlist.h"
+#include "sim/logic_sim.h"
+
+namespace adq::test {
+
+/// Declares `width` input ports grouped as bus `name`; returns the
+/// port nets as a generator Word (no input registers).
+inline gen::Word InWord(netlist::Netlist& nl, const std::string& name,
+                        int width) {
+  gen::Word bits;
+  for (int i = 0; i < width; ++i)
+    bits.push_back(nl.AddInputPort(name + "[" + std::to_string(i) + "]"));
+  nl.AddInputBus(name, bits);
+  return bits;
+}
+
+/// Declares the bits of `w` as output ports grouped as bus `name`.
+/// Repeated nets (sign extension, shared constants) are isolated
+/// behind buffers because a net can be only one output port.
+inline void OutWord(netlist::Netlist& nl, const std::string& name,
+                    const gen::Word& w) {
+  gen::Word ports;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    netlist::NetId bit = w[i];
+    if (nl.net(bit).is_primary_output ||
+        std::find(ports.begin(), ports.end(), bit) != ports.end())
+      bit = nl.AddGate(tech::CellKind::kBuf, {bit});
+    nl.AddOutputPort(name + "[" + std::to_string(i) + "]", bit);
+    ports.push_back(bit);
+  }
+  nl.AddOutputBus(name, ports);
+}
+
+/// Combinational evaluation: set every listed bus, settle, read `out`.
+inline std::uint64_t EvalComb(
+    sim::LogicSim& sim, const netlist::Netlist& nl,
+    const std::vector<std::pair<std::string, std::uint64_t>>& inputs,
+    const std::string& out) {
+  for (const auto& [name, value] : inputs)
+    sim.SetBus(nl.InputBus(name), value);
+  sim.Settle();
+  return sim.ReadBus(nl.OutputBus(out));
+}
+
+}  // namespace adq::test

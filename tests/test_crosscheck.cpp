@@ -1,0 +1,137 @@
+/// Cross-validation between independent engines of the library —
+/// invariants that hold only if two separately-implemented models
+/// agree with each other:
+///
+///  * case analysis vs the logic simulator: every net the 3-valued
+///    propagation proves constant must hold exactly that value in
+///    cycle-accurate simulation under every conforming stimulus;
+///  * activity extraction vs case analysis: proven-constant nets must
+///    show zero measured toggles;
+///  * STA vs netlist structure: the reported worst arrival can never
+///    exceed (depth x slowest-cell delay + wire) bounds.
+
+#include <gtest/gtest.h>
+
+#include "core/accuracy.h"
+#include "core/explore.h"
+#include "gen/operator.h"
+#include "netlist/case_analysis.h"
+#include "netlist/topo.h"
+#include "place/wirelength.h"
+#include "sim/activity.h"
+#include "sim/logic_sim.h"
+#include "sim/stimulus.h"
+#include "sta/sta.h"
+#include "util/fixed_point.h"
+#include "util/rng.h"
+
+namespace adq {
+namespace {
+
+const tech::CellLibrary& Lib() {
+  static const tech::CellLibrary lib;
+  return lib;
+}
+
+class CaseVsSim : public ::testing::TestWithParam<int> {};
+
+TEST_P(CaseVsSim, ProvenConstantsHoldInSimulation) {
+  const int bw = GetParam();
+  const gen::Operator op = gen::BuildBoothOperator(8);
+  const int zeroed = core::ZeroedLsbs(op, bw);
+  const netlist::CaseAnalysis ca(op.nl, core::ForcedZeros(op, bw));
+
+  sim::LogicSim sim(op.nl);
+  sim.Reset();
+  util::Rng rng(bw * 131);
+  // Warm up a few cycles so register state conforms to the masking,
+  // then check every proven-constant net each cycle.
+  for (int t = 0; t < 24; ++t) {
+    const std::uint64_t a =
+        util::MaskLsbs(rng.Word() & 0xFF, 8, zeroed);
+    const std::uint64_t b =
+        util::MaskLsbs(rng.Word() & 0xFF, 8, zeroed);
+    sim.SetBus(op.nl.InputBus("a"), a);
+    sim.SetBus(op.nl.InputBus("b"), b);
+    sim.Tick();
+    if (t < 3) continue;  // let constants propagate through registers
+    for (std::uint32_t n = 0; n < op.nl.num_nets(); ++n) {
+      const netlist::NetId id(n);
+      const netlist::LogicV v = ca.Value(id);
+      if (v == netlist::LogicV::kX) continue;
+      ASSERT_EQ(sim.Value(id), v == netlist::LogicV::kOne)
+          << "net " << n << " bw " << bw << " cycle " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bitwidths, CaseVsSim,
+                         ::testing::Values(1, 2, 4, 6, 8));
+
+TEST(ActivityVsCase, ConstantNetsNeverToggle) {
+  const gen::Operator op = gen::BuildBoothOperator(8);
+  for (const int bw : {2, 5, 8}) {
+    const netlist::CaseAnalysis ca(op.nl, core::ForcedZeros(op, bw));
+    const sim::ActivityProfile act = sim::ExtractActivity(
+        op, core::ZeroedLsbs(op, bw), 256, 99);
+    for (std::uint32_t n = 0; n < op.nl.num_nets(); ++n) {
+      if (!ca.IsConstant(netlist::NetId(n))) continue;
+      EXPECT_EQ(act.toggle_rate[n], 0.0) << "net " << n << " bw " << bw;
+    }
+  }
+}
+
+TEST(StaVsStructure, ArrivalBoundedByDepthTimesWorstCell) {
+  const gen::Operator op = gen::BuildBoothOperator(8);
+  const place::NetLoads loads =
+      place::EstimateLoadsByFanout(op.nl, Lib());
+  sta::TimingAnalyzer an(op.nl, Lib(), loads);
+  const std::vector<tech::BiasState> nobb(op.nl.num_instances(),
+                                          tech::BiasState::kNoBB);
+  const auto rep = an.Analyze(0.6, 10.0, nobb, nullptr, true);
+  // Conservative upper bound: every level costs at most the worst
+  // (d0 + kd * maxload) * scale + max wire delay in the design.
+  double max_cell = 0.0, max_wire = 0.0, max_load = 0.0;
+  for (const double c : loads.cap_ff) max_load = std::max(max_load, c);
+  for (const double w : loads.wire_delay_ns)
+    max_wire = std::max(max_wire, w);
+  for (int k = 0; k < tech::kNumCellKinds; ++k) {
+    const auto& v = Lib().Variant(static_cast<tech::CellKind>(k),
+                                  tech::DriveStrength::kX0P25);
+    max_cell = std::max(max_cell, v.d0_ns + v.kd_ns_per_ff * max_load);
+  }
+  const double scale = Lib().DelayScale(0.6, tech::BiasState::kNoBB);
+  const double bound =
+      (netlist::LogicDepth(op.nl) + 2) * (max_cell * scale + max_wire);
+  for (const auto& ep : rep.endpoints) {
+    if (!ep.active) continue;
+    EXPECT_LE(ep.arrival_ns, bound);
+  }
+}
+
+TEST(ExploreVsSta, BestConfigurationsReanalyzeFeasible) {
+  // Re-run STA independently on every configuration the explorer
+  // declared optimal; they must all meet timing.
+  core::FlowOptions fopt;
+  fopt.grid = {2, 2};
+  fopt.clock_ns = 0.55;
+  const auto d = core::RunImplementationFlow(gen::BuildBoothOperator(8),
+                                             Lib(), fopt);
+  core::ExploreOptions xopt;
+  xopt.bitwidths = {2, 4, 6, 8};
+  xopt.activity_cycles = 128;
+  const auto r = core::ExploreDesignSpace(d, Lib(), xopt);
+  sta::TimingAnalyzer an(d.op.nl, Lib(), d.loads);
+  for (const auto& m : r.modes) {
+    if (!m.has_solution) continue;
+    const netlist::CaseAnalysis ca(d.op.nl,
+                                   core::ForcedZeros(d.op, m.bitwidth));
+    const auto bias = core::BiasVectorFor(d, m.best.mask);
+    const auto rep = an.Analyze(m.best.vdd, d.clock_ns, bias, &ca);
+    EXPECT_TRUE(rep.feasible()) << "bitwidth " << m.bitwidth;
+    EXPECT_NEAR(rep.wns_ns, m.best.wns_ns, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace adq

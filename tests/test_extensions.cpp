@@ -1,0 +1,231 @@
+/// Tests for the extension modules: RBB sleep states, the MAC and
+/// array-multiplier operators, criticality-driven band construction,
+/// and the VDD-island baseline.
+
+#include <gtest/gtest.h>
+
+#include "core/band_optimizer.h"
+#include "core/controller.h"
+#include "core/explore.h"
+#include "core/vdd_islands.h"
+#include "sta/sta.h"
+#include "gen/operator.h"
+#include "sim/logic_sim.h"
+#include "util/fixed_point.h"
+#include "util/rng.h"
+
+namespace adq {
+namespace {
+
+const tech::CellLibrary& Lib() {
+  static const tech::CellLibrary lib;
+  return lib;
+}
+
+const core::ImplementedDesign& Design22() {
+  static const core::ImplementedDesign d = [] {
+    core::FlowOptions fopt;
+    fopt.grid = {2, 2};
+    fopt.clock_ns = 0.55;
+    return core::RunImplementationFlow(gen::BuildBoothOperator(8), Lib(),
+                                       fopt);
+  }();
+  return d;
+}
+
+core::ExploreOptions FastOptions() {
+  core::ExploreOptions opt;
+  opt.bitwidths = {2, 4, 6, 8};
+  opt.activity_cycles = 128;
+  return opt;
+}
+
+// ---------------- RBB state physics ----------------
+
+TEST(Rbb, RaisesVthAndCutsLeakage) {
+  EXPECT_GT(Lib().Vth(tech::BiasState::kRBB),
+            Lib().Vth(tech::BiasState::kNoBB));
+  EXPECT_LT(Lib().LeakagePower(tech::CellKind::kNand2,
+                               tech::DriveStrength::kX1, 1.0,
+                               tech::BiasState::kRBB),
+            Lib().LeakagePower(tech::CellKind::kNand2,
+                               tech::DriveStrength::kX1, 1.0,
+                               tech::BiasState::kNoBB));
+}
+
+TEST(Rbb, SlowerThanNoBB) {
+  EXPECT_GT(Lib().DelayScale(1.0, tech::BiasState::kRBB),
+            Lib().DelayScale(1.0, tech::BiasState::kNoBB));
+}
+
+TEST(Rbb, SleepPassNeverIncreasesPowerOrBreaksTiming) {
+  core::ExploreOptions base = FastOptions();
+  core::ExploreOptions with = FastOptions();
+  with.enable_rbb_sleep = true;
+  const auto a = core::ExploreDesignSpace(Design22(), Lib(), base);
+  const auto b = core::ExploreDesignSpace(Design22(), Lib(), with);
+  ASSERT_EQ(a.modes.size(), b.modes.size());
+  for (std::size_t i = 0; i < a.modes.size(); ++i) {
+    EXPECT_EQ(a.modes[i].has_solution, b.modes[i].has_solution);
+    if (!a.modes[i].has_solution) continue;
+    EXPECT_LE(b.modes[i].best.total_power_w(),
+              a.modes[i].best.total_power_w() + 1e-15);
+    // RBB only on domains that are not boosted.
+    EXPECT_EQ(b.modes[i].best.rbb_mask & b.modes[i].best.mask, 0u);
+  }
+}
+
+TEST(Rbb, DomainStateDecoding) {
+  core::ExploredPoint p;
+  p.mask = 0b0101;
+  p.rbb_mask = 0b0010;
+  EXPECT_EQ(p.DomainState(0), tech::BiasState::kFBB);
+  EXPECT_EQ(p.DomainState(1), tech::BiasState::kRBB);
+  EXPECT_EQ(p.DomainState(2), tech::BiasState::kFBB);
+  EXPECT_EQ(p.DomainState(3), tech::BiasState::kNoBB);
+}
+
+// ---------------- new operators ----------------
+
+TEST(MacOperator, AccumulatesProducts) {
+  const gen::Operator op = gen::BuildMacOperator(8);
+  sim::LogicSim sim(op.nl);
+  sim.Reset();
+  util::Rng rng(5);
+  long long expect = 0;
+  const int kOps = 6;
+  std::vector<std::pair<std::int64_t, std::int64_t>> ab(kOps);
+  for (auto& [a, b] : ab) {
+    a = rng.UniformInt(-128, 127);
+    b = rng.UniformInt(-128, 127);
+  }
+  for (int t = 0; t <= kOps + 1; ++t) {
+    const bool on = t >= 1 && t <= kOps;
+    sim.SetBus(op.nl.InputBus("a"),
+               util::FromSigned(on ? ab[(std::size_t)t - 1].first : 0, 8));
+    sim.SetBus(op.nl.InputBus("b"),
+               util::FromSigned(on ? ab[(std::size_t)t - 1].second : 0, 8));
+    sim.SetBus(op.nl.InputBus("clr"), t == 0 ? 1 : 0);
+    sim.Tick();
+  }
+  sim.Tick();
+  for (const auto& [a, b] : ab) expect += a * b;
+  EXPECT_EQ(util::ToSigned(sim.ReadBus(op.nl.OutputBus("acc")), 24),
+            expect);
+}
+
+TEST(ArrayMultOperator, MatchesReference) {
+  const gen::Operator op = gen::BuildArrayMultOperator(8);
+  sim::LogicSim sim(op.nl);
+  util::Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    const std::int64_t a = rng.UniformInt(-128, 127);
+    const std::int64_t b = rng.UniformInt(-128, 127);
+    sim.SetBus(op.nl.InputBus("a"), util::FromSigned(a, 8));
+    sim.SetBus(op.nl.InputBus("b"), util::FromSigned(b, 8));
+    sim.Tick();
+    sim.Tick();
+    ASSERT_EQ(util::ToSigned(sim.ReadBus(op.nl.OutputBus("p")), 16), a * b);
+  }
+}
+
+// ---------------- criticality bands ----------------
+
+TEST(BandOptimizer, CriticalityScoresInRange) {
+  const auto& d = Design22();
+  const std::vector<double> score = core::AccuracyCriticality(
+      d.op, Lib(), d.flat_loads, d.clock_ns, {2, 4, 6, 8}, 0.05);
+  ASSERT_EQ(score.size(), d.op.nl.num_instances());
+  for (const double s : score) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.25);
+  }
+  // At least one cell must be critical at full accuracy (the design
+  // sits at the wall), and monotone: critical-at-2 implies score 0.25.
+  EXPECT_TRUE(std::any_of(score.begin(), score.end(),
+                          [](double s) { return s <= 1.0; }));
+}
+
+TEST(BandOptimizer, BandsSumToRowsAndRespectMinimum) {
+  const auto& d = Design22();
+  const std::vector<double> score = core::AccuracyCriticality(
+      d.op, Lib(), d.flat_loads, d.clock_ns, {4, 8}, 0.05);
+  const auto bands = core::OptimizeBandRows(d.op.nl, d.flat_placement,
+                                            score, 3, /*min_rows=*/3);
+  ASSERT_EQ(bands.size(), 3u);
+  int sum = 0;
+  for (const int b : bands) {
+    EXPECT_GE(b, 3);
+    sum += b;
+  }
+  EXPECT_EQ(sum, d.flat_placement.fp.num_rows());
+}
+
+TEST(BandOptimizer, FlowIntegrationProducesValidDesign) {
+  core::FlowOptions fopt;
+  fopt.grid = {1, 3};
+  fopt.strategy = core::DomainStrategy::kCriticalityBands;
+  fopt.clock_ns = 0.55;
+  const auto d =
+      core::RunImplementationFlow(gen::BuildBoothOperator(8), Lib(), fopt);
+  EXPECT_TRUE(d.timing_met);
+  EXPECT_EQ(d.num_domains(), 3);
+  // All domain ids valid; bands cover all cells.
+  for (const int dom : d.partition.domain_of) {
+    EXPECT_GE(dom, 0);
+    EXPECT_LT(dom, 3);
+  }
+}
+
+// ---------------- VDD islands ----------------
+
+TEST(VddIslands, ShifterCountPositiveOnPartitionedDesign) {
+  EXPECT_GT(core::CountLevelShifters(Design22()), 0);
+}
+
+TEST(VddIslands, AllHighMaskIsFeasibleAndMasksLowerPower) {
+  core::VddIslandOptions vopt;
+  vopt.bitwidths = {2, 4, 6, 8};
+  vopt.activity_cycles = 128;
+  const auto r = core::ExploreVddIslands(Design22(), Lib(), vopt);
+  ASSERT_EQ(r.modes.size(), 4u);
+  EXPECT_GT(r.num_level_shifters, 0);
+  // The all-high assignment is explored; feasibility at the lowest
+  // bitwidth is expected after the island timing fix.
+  EXPECT_TRUE(r.modes[0].has_solution);
+  for (const auto& m : r.modes) {
+    if (!m.has_solution) continue;
+    EXPECT_GT(m.best.total_power_w(), 0.0);
+    EXPECT_GT(m.best.shifter_w, 0.0) << "shifter power is always paid";
+  }
+}
+
+TEST(VddIslands, BackBiasBeatsIslandsAtIsoAccuracy) {
+  // The paper's Sec. III argument, as a regression test.
+  const auto bb =
+      core::ExploreDesignSpace(Design22(), Lib(), FastOptions());
+  core::VddIslandOptions vopt;
+  vopt.bitwidths = {2, 4, 6, 8};
+  vopt.activity_cycles = 128;
+  const auto vi = core::ExploreVddIslands(Design22(), Lib(), vopt);
+  for (std::size_t i = 0; i < bb.modes.size(); ++i) {
+    if (!bb.modes[i].has_solution || !vi.modes[i].has_solution) continue;
+    EXPECT_LT(bb.modes[i].best.total_power_w(),
+              vi.modes[i].best.total_power_w());
+  }
+}
+
+TEST(StaScales, MatchesBiasAnalyzeWhenUniform) {
+  const auto& d = Design22();
+  sta::TimingAnalyzer an(d.op.nl, Lib(), d.loads);
+  const double s = Lib().DelayScale(0.9, tech::BiasState::kFBB);
+  const std::vector<double> scales(d.op.nl.num_instances(), s);
+  const std::vector<tech::BiasState> fbb(d.op.nl.num_instances(),
+                                         tech::BiasState::kFBB);
+  const auto a = an.AnalyzeWithScales(scales, d.clock_ns);
+  const auto b = an.Analyze(0.9, d.clock_ns, fbb);
+  EXPECT_NEAR(a.wns_ns, b.wns_ns, 1e-12);
+}
+
+}  // namespace
+}  // namespace adq

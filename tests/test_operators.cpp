@@ -1,0 +1,223 @@
+/// Tests for the three registered benchmark operators: functional
+/// correctness against exact arithmetic golden models, register
+/// discipline, and bus/spec metadata.
+
+#include <gtest/gtest.h>
+
+#include "gen/operator.h"
+#include "sim/logic_sim.h"
+#include "util/fixed_point.h"
+#include "util/rng.h"
+
+namespace adq::gen {
+namespace {
+
+// Golden model of the butterfly's fixed-point semantics: outputs are
+// A +/- (B*W) with the complex product computed exactly and scaled by
+// an arithmetic (floor) shift of width-1 bits, the truncation fused
+// with the output addition (see BuildButterflyOperator).
+struct ButterflyGold {
+  long long xr, xi, yr, yi;
+};
+ButterflyGold GoldButterfly(int w, long long ar, long long ai,
+                            long long br, long long bi, long long wr,
+                            long long wi) {
+  const int s = w - 1;
+  const long long k1 = wr * (br + bi);
+  const long long k2 = br * (wi - wr);
+  const long long k3 = bi * (wr + wi);
+  auto fl = [s](long long v) {  // floor shift (arithmetic)
+    return v >> s;
+  };
+  return ButterflyGold{ar + fl(k1 - k3), ai + fl(k1 + k2),
+                       ar + fl(k3 - k1), ai + fl(-k1 - k2)};
+}
+
+TEST(BoothOperator, SpecAndBuses) {
+  const Operator op = BuildBoothOperator(16);
+  EXPECT_EQ(op.spec.data_width, 16);
+  EXPECT_EQ(op.spec.scalable_buses,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_NEAR(op.spec.target_clock_ns, 0.8, 1e-12);
+  EXPECT_EQ(op.nl.InputBus("a").width(), 16);
+  EXPECT_EQ(op.nl.OutputBus("p").width(), 32);
+}
+
+TEST(BoothOperator, TwoCycleLatencyProduct) {
+  const Operator op = BuildBoothOperator(16);
+  sim::LogicSim sim(op.nl);
+  util::Rng rng(21);
+  // Pipeline: operands presented before the tick of cycle t are
+  // readable at the output registers after the tick of cycle t+1.
+  std::vector<std::pair<std::int64_t, std::int64_t>> ops;
+  for (int i = 0; i < 20; ++i)
+    ops.push_back({rng.UniformInt(-32768, 32767),
+                   rng.UniformInt(-32768, 32767)});
+  for (std::size_t t = 0; t < ops.size() + 1; ++t) {
+    if (t < ops.size()) {
+      sim.SetBus(op.nl.InputBus("a"), util::FromSigned(ops[t].first, 16));
+      sim.SetBus(op.nl.InputBus("b"), util::FromSigned(ops[t].second, 16));
+    }
+    sim.Tick();
+    if (t >= 1) {
+      const auto got =
+          util::ToSigned(sim.ReadBus(op.nl.OutputBus("p")), 32);
+      ASSERT_EQ(got, ops[t - 1].first * ops[t - 1].second) << "t=" << t;
+    }
+  }
+}
+
+TEST(BoothOperator, RegisterDiscipline) {
+  const Operator op = BuildBoothOperator(16);
+  // Every primary input feeds exactly one DFF; every primary output is
+  // driven by a DFF.
+  for (const netlist::NetId pi : op.nl.primary_inputs()) {
+    ASSERT_EQ(op.nl.net(pi).sinks.size(), 1u);
+    EXPECT_TRUE(op.nl.inst(op.nl.net(pi).sinks[0].inst).is_sequential());
+  }
+  for (const netlist::NetId po : op.nl.primary_outputs()) {
+    ASSERT_TRUE(op.nl.net(po).driver.valid());
+    EXPECT_TRUE(op.nl.inst(op.nl.net(po).driver.inst).is_sequential());
+  }
+}
+
+TEST(BoothOperator, SmallerWidthsWork) {
+  const Operator op = BuildBoothOperator(8);
+  sim::LogicSim sim(op.nl);
+  sim.SetBus(op.nl.InputBus("a"), util::FromSigned(-128, 8));
+  sim.SetBus(op.nl.InputBus("b"), util::FromSigned(-128, 8));
+  sim.Tick();
+  sim.Tick();
+  EXPECT_EQ(util::ToSigned(sim.ReadBus(op.nl.OutputBus("p")), 16), 16384);
+}
+
+class ButterflyRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(ButterflyRandom, MatchesGoldenModel) {
+  const Operator op = BuildButterflyOperator(16);
+  sim::LogicSim sim(op.nl);
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const long long ar = rng.UniformInt(-32768, 32767);
+    const long long ai = rng.UniformInt(-32768, 32767);
+    const long long br = rng.UniformInt(-32768, 32767);
+    const long long bi = rng.UniformInt(-32768, 32767);
+    const long long wr = rng.UniformInt(-32768, 32767);
+    const long long wi = rng.UniformInt(-32768, 32767);
+    sim.SetBus(op.nl.InputBus("ar"), util::FromSigned(ar, 16));
+    sim.SetBus(op.nl.InputBus("ai"), util::FromSigned(ai, 16));
+    sim.SetBus(op.nl.InputBus("br"), util::FromSigned(br, 16));
+    sim.SetBus(op.nl.InputBus("bi"), util::FromSigned(bi, 16));
+    sim.SetBus(op.nl.InputBus("wr"), util::FromSigned(wr, 16));
+    sim.SetBus(op.nl.InputBus("wi"), util::FromSigned(wi, 16));
+    sim.Tick();
+    sim.Tick();
+    const ButterflyGold g = GoldButterfly(16, ar, ai, br, bi, wr, wi);
+    ASSERT_EQ(util::ToSigned(sim.ReadBus(op.nl.OutputBus("xr")), 18), g.xr);
+    ASSERT_EQ(util::ToSigned(sim.ReadBus(op.nl.OutputBus("xi")), 18), g.xi);
+    ASSERT_EQ(util::ToSigned(sim.ReadBus(op.nl.OutputBus("yr")), 18), g.yr);
+    ASSERT_EQ(util::ToSigned(sim.ReadBus(op.nl.OutputBus("yi")), 18), g.yi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ButterflyRandom, ::testing::Values(1, 2, 3));
+
+TEST(Butterfly, UnitTwiddlePassesAThrough) {
+  // W = 1 + 0j (Q15: wr = 32767 ~ 1): X ~ A + B, Y ~ A - B.
+  const Operator op = BuildButterflyOperator(16);
+  sim::LogicSim sim(op.nl);
+  const long long ar = 1000, ai = 2000, br = 300, bi = -400;
+  sim.SetBus(op.nl.InputBus("ar"), util::FromSigned(ar, 16));
+  sim.SetBus(op.nl.InputBus("ai"), util::FromSigned(ai, 16));
+  sim.SetBus(op.nl.InputBus("br"), util::FromSigned(br, 16));
+  sim.SetBus(op.nl.InputBus("bi"), util::FromSigned(bi, 16));
+  sim.SetBus(op.nl.InputBus("wr"), util::FromSigned(32767, 16));
+  sim.SetBus(op.nl.InputBus("wi"), util::FromSigned(0, 16));
+  sim.Tick();
+  sim.Tick();
+  // Within 1 LSB of A + B (the Q15 "1" is 32767/32768).
+  EXPECT_NEAR(
+      (double)util::ToSigned(sim.ReadBus(op.nl.OutputBus("xr")), 18),
+      (double)(ar + br), 2.0);
+  EXPECT_NEAR(
+      (double)util::ToSigned(sim.ReadBus(op.nl.OutputBus("yi")), 18),
+      (double)(ai - bi), 2.0);
+}
+
+TEST(FirMac, AccumulatesQuadProducts) {
+  const Operator op = BuildFirMacOperator(16);
+  sim::LogicSim sim(op.nl);
+  sim.Reset();
+  util::Rng rng(4242);
+  long long expect = 0;
+  const int kCycles = 8;  // a full 30-tap frame (4 taps/cycle)
+  std::vector<std::array<std::int64_t, 8>> stim(kCycles);
+  for (auto& s : stim)
+    for (auto& v : s) v = rng.UniformInt(-32768, 32767);
+  // clr pulse, then stream.
+  for (int t = 0; t < kCycles + 2; ++t) {
+    for (int k = 0; k < 4; ++k) {
+      const std::int64_t x =
+          (t >= 1 && t <= kCycles) ? stim[t - 1][k] : 0;
+      const std::int64_t c =
+          (t >= 1 && t <= kCycles) ? stim[t - 1][4 + k] : 0;
+      sim.SetBus(op.nl.InputBus("x" + std::to_string(k)),
+                 util::FromSigned(x, 16));
+      sim.SetBus(op.nl.InputBus("c" + std::to_string(k)),
+                 util::FromSigned(c, 16));
+    }
+    sim.SetBus(op.nl.InputBus("clr"), t == 0 ? 1 : 0);
+    sim.Tick();
+  }
+  sim.Tick();
+  for (const auto& s : stim)
+    for (int k = 0; k < 4; ++k) expect += s[k] * s[4 + k];
+  EXPECT_EQ(util::ToSigned(sim.ReadBus(op.nl.OutputBus("y")), 40), expect);
+}
+
+TEST(FirMac, ClearResetsAccumulator) {
+  const Operator op = BuildFirMacOperator(16);
+  sim::LogicSim sim(op.nl);
+  sim.Reset();
+  sim.SetBus(op.nl.InputBus("x0"), util::FromSigned(100, 16));
+  sim.SetBus(op.nl.InputBus("c0"), util::FromSigned(5, 16));
+  sim.SetBus(op.nl.InputBus("clr"), 0);
+  sim.Tick();
+  sim.Tick();
+  sim.Tick();
+  // Now clear: the accumulator must go to zero on the next edge
+  // regardless of the pending sum.
+  sim.SetBus(op.nl.InputBus("clr"), 1);
+  sim.Tick();
+  sim.Tick();  // clr registered: takes effect one cycle later
+  // After the clear cycle the accumulator output reads 0.
+  sim.SetBus(op.nl.InputBus("x0"), 0);
+  sim.SetBus(op.nl.InputBus("c0"), 0);
+  sim.SetBus(op.nl.InputBus("clr"), 0);
+  sim.Tick();
+  sim.Tick();
+  EXPECT_EQ(util::ToSigned(sim.ReadBus(op.nl.OutputBus("y")), 40), 0);
+}
+
+TEST(Operators, SpecScalableBusesExist) {
+  for (const Operator& op :
+       {BuildBoothOperator(16), BuildButterflyOperator(16),
+        BuildFirMacOperator(16)}) {
+    for (const std::string& bus : op.spec.scalable_buses) {
+      EXPECT_EQ(op.nl.InputBus(bus).width(), op.spec.data_width)
+          << op.spec.name << " bus " << bus;
+    }
+    EXPECT_NO_THROW(op.nl.Validate());
+  }
+}
+
+TEST(Operators, AllNetsDriven) {
+  const Operator op = BuildFirMacOperator(8);
+  for (std::uint32_t n = 0; n < op.nl.num_nets(); ++n) {
+    const auto& net = op.nl.net(netlist::NetId(n));
+    EXPECT_TRUE(net.driver.valid() || net.is_primary_input);
+  }
+}
+
+}  // namespace
+}  // namespace adq::gen

@@ -1,0 +1,155 @@
+/// Tests for the sizing optimizer (timing fix + power recovery /
+/// wall-of-slack) and the high-fanout buffering pass.
+
+#include <gtest/gtest.h>
+
+#include "gen/operator.h"
+#include "opt/buffering.h"
+#include "opt/sizing.h"
+#include "sim/logic_sim.h"
+#include "sta/slack_histogram.h"
+#include "sta/sta.h"
+#include "util/fixed_point.h"
+#include "util/rng.h"
+
+namespace adq::opt {
+namespace {
+
+using tech::BiasState;
+
+const tech::CellLibrary& Lib() {
+  static const tech::CellLibrary lib;
+  return lib;
+}
+
+place::NetLoads FanoutLoads(const netlist::Netlist& nl) {
+  return place::EstimateLoadsByFanout(nl, Lib());
+}
+
+TEST(Sizing, MeetsAchievableClock) {
+  gen::Operator op = gen::BuildBoothOperator(8);
+  SizingOptions sopt;
+  sopt.clock_ns = 0.8;  // generous for an 8x8 multiplier
+  const SizingResult res =
+      OptimizeSizing(op.nl, Lib(), FanoutLoads, sopt);
+  EXPECT_TRUE(res.timing_met);
+  EXPECT_GE(res.wns_ns, 0.0);
+}
+
+TEST(Sizing, ReportsFailureOnImpossibleClock) {
+  gen::Operator op = gen::BuildBoothOperator(8);
+  SizingOptions sopt;
+  sopt.clock_ns = 0.05;  // unreachable
+  const SizingResult res =
+      OptimizeSizing(op.nl, Lib(), FanoutLoads, sopt);
+  EXPECT_FALSE(res.timing_met);
+  EXPECT_LT(res.wns_ns, 0.0);
+}
+
+TEST(Sizing, RecoveryNeverBreaksTiming) {
+  gen::Operator op = gen::BuildBoothOperator(8);
+  SizingOptions sopt;
+  sopt.clock_ns = 0.9;
+  sopt.enable_recovery = true;
+  const SizingResult res =
+      OptimizeSizing(op.nl, Lib(), FanoutLoads, sopt);
+  EXPECT_TRUE(res.timing_met);
+  EXPECT_GT(res.downsize_moves, 0) << "ample slack must trigger recovery";
+}
+
+TEST(Sizing, RecoveryReducesAreaAndLeakage) {
+  gen::Operator op_a = gen::BuildBoothOperator(8);
+  gen::Operator op_b = gen::BuildBoothOperator(8);
+  SizingOptions no_rec;
+  no_rec.clock_ns = 1.0;
+  no_rec.enable_recovery = false;
+  SizingOptions rec = no_rec;
+  rec.enable_recovery = true;
+  OptimizeSizing(op_a.nl, Lib(), FanoutLoads, no_rec);
+  OptimizeSizing(op_b.nl, Lib(), FanoutLoads, rec);
+  auto area = [](const netlist::Netlist& nl) {
+    double a = 0.0;
+    for (const auto& inst : nl.instances())
+      a += Lib().AreaUm2(inst.kind, inst.drive);
+    return a;
+  };
+  EXPECT_LT(area(op_b.nl), area(op_a.nl));
+}
+
+TEST(Sizing, RecoveryNarrowsSlackDistribution) {
+  // The wall of slack: after power recovery the mean endpoint slack
+  // must drop (non-critical paths slowed toward the critical one).
+  gen::Operator op_a = gen::BuildBoothOperator(16);
+  gen::Operator op_b = gen::BuildBoothOperator(16);
+  SizingOptions no_rec;
+  no_rec.clock_ns = 0.9;
+  no_rec.enable_recovery = false;
+  SizingOptions rec = no_rec;
+  rec.enable_recovery = true;
+  OptimizeSizing(op_a.nl, Lib(), FanoutLoads, no_rec);
+  OptimizeSizing(op_b.nl, Lib(), FanoutLoads, rec);
+  auto mean_slack = [&](const netlist::Netlist& nl) {
+    sta::TimingAnalyzer an(nl, Lib(), FanoutLoads(nl));
+    const std::vector<BiasState> fbb(nl.num_instances(), BiasState::kFBB);
+    const auto rep = an.Analyze(1.0, 0.9, fbb, nullptr, true);
+    double sum = 0.0;
+    int n = 0;
+    for (const auto& ep : rep.endpoints)
+      if (ep.active) {
+        sum += ep.slack_ns;
+        ++n;
+      }
+    return sum / n;
+  };
+  EXPECT_LT(mean_slack(op_b.nl), mean_slack(op_a.nl));
+}
+
+TEST(Buffering, EnforcesMaxFanout) {
+  gen::Operator op = gen::BuildBoothOperator(16);
+  const BufferingResult res = BufferHighFanout(op.nl, 8);
+  EXPECT_GT(res.buffers_inserted, 0);
+  for (std::uint32_t n = 0; n < op.nl.num_nets(); ++n) {
+    const auto& net = op.nl.net(netlist::NetId(n));
+    if (net.driver.valid() &&
+        tech::IsTie(op.nl.inst(net.driver.inst).kind))
+      continue;  // constants exempt
+    EXPECT_LE(net.sinks.size(), 8u) << "net " << n;
+  }
+  EXPECT_NO_THROW(op.nl.Validate());
+}
+
+TEST(Buffering, PreservesFunction) {
+  gen::Operator ref = gen::BuildBoothOperator(8);
+  gen::Operator buf = gen::BuildBoothOperator(8);
+  BufferHighFanout(buf.nl, 4);
+  sim::LogicSim sr(ref.nl), sb(buf.nl);
+  util::Rng rng(31);
+  for (int i = 0; i < 50; ++i) {
+    const std::int64_t a = rng.UniformInt(-128, 127);
+    const std::int64_t b = rng.UniformInt(-128, 127);
+    for (auto* s : {&sr, &sb}) {
+      const netlist::Netlist& nl = (s == &sr) ? ref.nl : buf.nl;
+      s->SetBus(nl.InputBus("a"), util::FromSigned(a, 8));
+      s->SetBus(nl.InputBus("b"), util::FromSigned(b, 8));
+      s->Tick();
+      s->Tick();
+    }
+    ASSERT_EQ(sr.ReadBus(ref.nl.OutputBus("p")),
+              sb.ReadBus(buf.nl.OutputBus("p")));
+  }
+}
+
+TEST(Buffering, IdempotentOnBoundedNetlist) {
+  gen::Operator op = gen::BuildBoothOperator(8);
+  BufferHighFanout(op.nl, 8);
+  const BufferingResult again = BufferHighFanout(op.nl, 8);
+  EXPECT_EQ(again.buffers_inserted, 0);
+}
+
+TEST(Buffering, RejectsDegenerateLimit) {
+  gen::Operator op = gen::BuildBoothOperator(8);
+  EXPECT_THROW(BufferHighFanout(op.nl, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace adq::opt

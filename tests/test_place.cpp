@@ -1,0 +1,196 @@
+/// Tests for placement: floorplanning, legality (rows, bounds, no
+/// overlap), grid partitioning with guardbands, incremental placement
+/// and parasitic extraction.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "gen/operator.h"
+#include "place/grid_partition.h"
+#include "place/placer.h"
+#include "place/wirelength.h"
+
+namespace adq::place {
+namespace {
+
+const tech::CellLibrary& Lib() {
+  static const tech::CellLibrary lib;
+  return lib;
+}
+
+gen::Operator SmallOp() { return gen::BuildBoothOperator(8); }
+
+void ExpectLegal(const netlist::Netlist& nl, const Placement& pl,
+                 double x_lo, double x_hi) {
+  // Every cell on a row center, within bounds, no horizontal overlap
+  // within a row.
+  std::map<int, std::vector<std::pair<double, double>>> row_spans;
+  for (std::uint32_t i = 0; i < nl.num_instances(); ++i) {
+    const netlist::Instance& inst = nl.instances()[i];
+    const double w = Lib().Variant(inst.kind, inst.drive).width_um;
+    const Point& p = pl.pos[i];
+    EXPECT_GE(p.x - w / 2, x_lo - 1e-6);
+    EXPECT_LE(p.x + w / 2, x_hi + 1e-6);
+    const double row_f = (p.y / pl.fp.row_height_um) - 0.5;
+    const int row = (int)std::lround(row_f);
+    EXPECT_NEAR(row_f, row, 1e-6) << "cell must sit on a row centerline";
+    row_spans[row].push_back({p.x - w / 2, p.x + w / 2});
+  }
+  for (auto& [row, spans] : row_spans) {
+    std::sort(spans.begin(), spans.end());
+    for (std::size_t k = 1; k < spans.size(); ++k) {
+      EXPECT_LE(spans[k - 1].second, spans[k].first + 1e-6)
+          << "overlap in row " << row;
+    }
+  }
+}
+
+TEST(Floorplan, RespectsUtilizationAndRows) {
+  const Floorplan fp = MakeFloorplan(1000.0, 0.5);
+  EXPECT_NEAR(fp.area_um2(), 2000.0, 2.0);
+  EXPECT_NEAR(fp.height_um, fp.num_rows() * 1.2, 1e-9);
+  EXPECT_THROW(MakeFloorplan(-1.0, 0.5), CheckError);
+  EXPECT_THROW(MakeFloorplan(100.0, 1.5), CheckError);
+}
+
+TEST(Placer, ProducesLegalPlacement) {
+  const gen::Operator op = SmallOp();
+  const Placement pl = PlaceDesign(op.nl, Lib(), {});
+  ASSERT_EQ(pl.pos.size(), op.nl.num_instances());
+  ExpectLegal(op.nl, pl, 0.0, pl.fp.width_um);
+}
+
+TEST(Placer, DeterministicInSeed) {
+  const gen::Operator op = SmallOp();
+  PlacerOptions opt;
+  opt.seed = 9;
+  const Placement a = PlaceDesign(op.nl, Lib(), opt);
+  const Placement b = PlaceDesign(op.nl, Lib(), opt);
+  for (std::size_t i = 0; i < a.pos.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.pos[i].x, b.pos[i].x);
+    EXPECT_DOUBLE_EQ(a.pos[i].y, b.pos[i].y);
+  }
+}
+
+TEST(Placer, BeatsRandomPlacementOnHpwl) {
+  const gen::Operator op = SmallOp();
+  PlacerOptions good;
+  const Placement pl = PlaceDesign(op.nl, Lib(), good);
+  PlacerOptions bad;
+  bad.centroid_iterations = 0;  // random + legalize only
+  const Placement rnd = PlaceDesign(op.nl, Lib(), bad);
+  EXPECT_LT(TotalHpwl(op.nl, pl), 0.8 * TotalHpwl(op.nl, rnd));
+}
+
+TEST(Partition, DegenerateSingleDomain) {
+  const gen::Operator op = SmallOp();
+  const Placement pl = PlaceDesign(op.nl, Lib(), {});
+  const GridPartition part = MakePartition(op.nl, Lib(), pl, {1, 1});
+  EXPECT_EQ(part.num_domains(), 1);
+  EXPECT_NEAR(part.area_overhead(), 0.0, 1e-12);
+  for (const int d : part.domain_of) EXPECT_EQ(d, 0);
+}
+
+class GridShape : public ::testing::TestWithParam<GridConfig> {};
+
+TEST_P(GridShape, PartitionConsistent) {
+  const GridConfig cfg = GetParam();
+  const gen::Operator op = SmallOp();
+  const Placement pl = PlaceDesign(op.nl, Lib(), {});
+  const GridPartition part = MakePartition(op.nl, Lib(), pl, cfg);
+  EXPECT_EQ((int)part.tiles.size(), cfg.num_domains());
+  // Domains in range.
+  for (const int d : part.domain_of) {
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, cfg.num_domains());
+  }
+  // Tiles lie inside the enlarged die and do not overlap pairwise.
+  for (std::size_t i = 0; i < part.tiles.size(); ++i) {
+    const auto& t = part.tiles[i];
+    EXPECT_GE(t.x_lo, -1e-9);
+    EXPECT_LE(t.x_hi, part.enlarged.width_um + 1e-9);
+    EXPECT_LE(t.y_hi, part.enlarged.height_um + 1e-9);
+    for (std::size_t j = i + 1; j < part.tiles.size(); ++j) {
+      const auto& u = part.tiles[j];
+      const bool x_sep = t.x_hi <= u.x_lo + 1e-9 || u.x_hi <= t.x_lo + 1e-9;
+      const bool y_sep = t.y_hi <= u.y_lo + 1e-9 || u.y_hi <= t.y_lo + 1e-9;
+      EXPECT_TRUE(x_sep || y_sep) << "tiles " << i << "," << j << " overlap";
+    }
+  }
+  // Area overhead grows with the guardband count and matches the
+  // enlarged-die geometry.
+  const double expect =
+      part.enlarged.area_um2() / part.original.area_um2() - 1.0;
+  EXPECT_NEAR(part.area_overhead(), expect, 1e-12);
+  if (cfg.num_domains() > 1) {
+    EXPECT_GT(part.area_overhead(), 0.0);
+  }
+}
+
+TEST_P(GridShape, ApplyPartitionKeepsCellsInTheirTiles) {
+  const GridConfig cfg = GetParam();
+  const gen::Operator op = SmallOp();
+  const Placement pl = PlaceDesign(op.nl, Lib(), {});
+  const GridPartition part = MakePartition(op.nl, Lib(), pl, cfg);
+  const Placement ap = ApplyPartition(op.nl, Lib(), pl, part);
+  for (std::uint32_t i = 0; i < op.nl.num_instances(); ++i) {
+    const auto& t = part.tiles[(std::size_t)part.domain_of[i]];
+    const netlist::Instance& inst = op.nl.instances()[i];
+    const double w = Lib().Variant(inst.kind, inst.drive).width_um;
+    EXPECT_GE(ap.pos[i].x - w / 2, t.x_lo - 1e-6) << "cell " << i;
+    EXPECT_LE(ap.pos[i].x + w / 2, t.x_hi + 1e-6) << "cell " << i;
+    EXPECT_GE(ap.pos[i].y, t.y_lo - 1e-6);
+    EXPECT_LE(ap.pos[i].y, t.y_hi + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridShape,
+                         ::testing::Values(GridConfig{2, 1}, GridConfig{1, 2},
+                                           GridConfig{2, 2}, GridConfig{3, 1},
+                                           GridConfig{3, 3}));
+
+TEST(Partition, GuardbandOverheadScalesWithGrid) {
+  const gen::Operator op = SmallOp();
+  const Placement pl = PlaceDesign(op.nl, Lib(), {});
+  const double o22 =
+      MakePartition(op.nl, Lib(), pl, {2, 2}).area_overhead();
+  const double o33 =
+      MakePartition(op.nl, Lib(), pl, {3, 3}).area_overhead();
+  EXPECT_GT(o33, o22) << "3x3 inserts more guardband area than 2x2";
+}
+
+TEST(Wirelength, ExtractedLoadsPositiveAndBounded) {
+  const gen::Operator op = SmallOp();
+  const Placement pl = PlaceDesign(op.nl, Lib(), {});
+  const NetLoads loads = ExtractLoads(op.nl, Lib(), pl);
+  ASSERT_EQ(loads.cap_ff.size(), op.nl.num_nets());
+  const double die_perimeter = 2 * (pl.fp.width_um + pl.fp.height_um);
+  for (std::uint32_t n = 0; n < op.nl.num_nets(); ++n) {
+    EXPECT_GE(loads.cap_ff[n], 0.0);
+    EXPECT_LE(NetHpwl(op.nl, pl, netlist::NetId(n)), die_perimeter);
+  }
+}
+
+TEST(Wirelength, FanoutModelGrowsWithFanout) {
+  netlist::Netlist nl;
+  const auto a = nl.AddInputPort("a");
+  const auto b = nl.AddInputPort("b");
+  for (int i = 0; i < 6; ++i) nl.AddOutputPort("y" + std::to_string(i),
+                                               nl.AddGate(tech::CellKind::kBuf, {a}));
+  nl.AddOutputPort("z", nl.AddGate(tech::CellKind::kBuf, {b}));
+  const NetLoads loads = EstimateLoadsByFanout(nl, Lib());
+  EXPECT_GT(loads.cap_ff[a.index()], loads.cap_ff[b.index()]);
+}
+
+TEST(Wirelength, PartitionStretchesWires) {
+  // Guardbands push cells apart: total HPWL must not shrink.
+  const gen::Operator op = SmallOp();
+  const Placement pl = PlaceDesign(op.nl, Lib(), {});
+  const GridPartition part = MakePartition(op.nl, Lib(), pl, {3, 3});
+  const Placement ap = ApplyPartition(op.nl, Lib(), pl, part);
+  EXPECT_GE(TotalHpwl(op.nl, ap), 0.95 * TotalHpwl(op.nl, pl));
+}
+
+}  // namespace
+}  // namespace adq::place

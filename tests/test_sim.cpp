@@ -1,0 +1,191 @@
+/// Tests for the logic simulator, stimulus generators, activity
+/// extraction and the VCD writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/operator.h"
+#include "harness.h"
+#include "sim/activity.h"
+#include "sim/stimulus.h"
+#include "sim/vcd.h"
+#include "util/fixed_point.h"
+
+namespace adq::sim {
+namespace {
+
+using tech::CellKind;
+
+TEST(LogicSim, SettleEvaluatesCombinational) {
+  netlist::Netlist nl;
+  const auto a = nl.AddInputPort("a");
+  const auto b = nl.AddInputPort("b");
+  const auto y = nl.AddGate(CellKind::kXor2, {a, b});
+  nl.AddOutputPort("y", y);
+  LogicSim sim(nl);
+  sim.SetInput(a, true);
+  sim.SetInput(b, false);
+  sim.Settle();
+  EXPECT_TRUE(sim.Value(y));
+  sim.SetInput(b, true);
+  sim.Settle();
+  EXPECT_FALSE(sim.Value(y));
+}
+
+TEST(LogicSim, RegistersHoldState) {
+  netlist::Netlist nl;
+  const auto d = nl.AddInputPort("d");
+  const auto q = nl.AddGate(CellKind::kDff, {d});
+  nl.AddOutputPort("q", q);
+  LogicSim sim(nl);
+  sim.Reset();
+  sim.SetInput(d, true);
+  sim.Settle();
+  EXPECT_FALSE(sim.Value(q)) << "Q must not change before the edge";
+  sim.Tick();
+  EXPECT_TRUE(sim.Value(q));
+  sim.SetInput(d, false);
+  sim.Tick();
+  EXPECT_FALSE(sim.Value(q));
+}
+
+TEST(LogicSim, TogglesCounted) {
+  netlist::Netlist nl;
+  const auto d = nl.AddInputPort("d");
+  const auto q = nl.AddGate(CellKind::kDff, {d});
+  nl.AddOutputPort("q", q);
+  LogicSim sim(nl);
+  sim.Reset();
+  // Alternate d: q toggles every cycle after the first.
+  for (int t = 0; t < 10; ++t) {
+    sim.SetInput(d, t % 2 == 0);
+    sim.Tick();
+  }
+  // 9 comparisons between consecutive post-edge states, all differ.
+  EXPECT_EQ(sim.toggles()[q.index()], 9u);
+  EXPECT_EQ(sim.cycles(), 9u);
+}
+
+TEST(LogicSim, ResetClearsStateAndStats) {
+  netlist::Netlist nl;
+  const auto d = nl.AddInputPort("d");
+  const auto q = nl.AddGate(CellKind::kDff, {d});
+  nl.AddOutputPort("q", q);
+  LogicSim sim(nl);
+  sim.SetInput(d, true);
+  sim.Tick();
+  sim.Tick();
+  sim.Reset();
+  EXPECT_FALSE(sim.Value(q));
+  EXPECT_EQ(sim.cycles(), 0u);
+  EXPECT_EQ(sim.toggles()[q.index()], 0u);
+}
+
+TEST(Stimulus, UniformStreamBounded) {
+  util::Rng rng(1);
+  const auto s = UniformStream(rng, 12, 500);
+  ASSERT_EQ(s.size(), 500u);
+  for (const auto v : s) EXPECT_LT(v, 1u << 12);
+}
+
+TEST(Stimulus, CorrelatedStreamBoundedAndCorrelated) {
+  util::Rng rng(2);
+  const auto s = CorrelatedStream(rng, 16, 4000, 0.95);
+  double prev = 0.0, corr_acc = 0.0, power = 0.0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double v = (double)util::ToSigned(s[i], 16);
+    EXPECT_LE(std::abs(v), 32767.0);
+    if (i > 0) corr_acc += v * prev;
+    power += v * v;
+    prev = v;
+  }
+  // Empirical lag-1 autocorrelation must be clearly positive.
+  EXPECT_GT(corr_acc / power, 0.7);
+}
+
+TEST(Stimulus, MaskStreamZeroesLsbs) {
+  util::Rng rng(3);
+  auto s = UniformStream(rng, 16, 100);
+  MaskStream(s, 16, 6);
+  for (const auto v : s) EXPECT_EQ(v & 0x3F, 0u);
+}
+
+TEST(Activity, RatesAreInUnitRange) {
+  const gen::Operator op = gen::BuildBoothOperator(8);
+  const ActivityProfile prof = ExtractActivity(op, 0, 256, 11);
+  ASSERT_EQ(prof.toggle_rate.size(), op.nl.num_nets());
+  for (const double r : prof.toggle_rate) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(Activity, ZeroedLsbsReduceActivity) {
+  const gen::Operator op = gen::BuildBoothOperator(16);
+  const ActivityProfile full = ExtractActivity(op, 0, 512, 11);
+  const ActivityProfile half = ExtractActivity(op, 8, 512, 11);
+  const ActivityProfile none = ExtractActivity(op, 16, 512, 11);
+  auto total = [](const ActivityProfile& p) {
+    double t = 0.0;
+    for (const double r : p.toggle_rate) t += r;
+    return t;
+  };
+  EXPECT_LT(total(half), total(full));
+  EXPECT_LT(total(none), 1e-9) << "all-zero inputs must be toggle-free";
+}
+
+TEST(Activity, DeterministicInSeed) {
+  const gen::Operator op = gen::BuildBoothOperator(8);
+  const ActivityProfile a = ExtractActivity(op, 2, 128, 42);
+  const ActivityProfile b = ExtractActivity(op, 2, 128, 42);
+  EXPECT_EQ(a.toggle_rate, b.toggle_rate);
+}
+
+TEST(Activity, UniformBeatsCorrelatedOnMsbs) {
+  // Correlated DSP data toggles high-order bits less than uniform
+  // noise — the reason activity annotation matters.
+  const gen::Operator op = gen::BuildBoothOperator(16);
+  const ActivityProfile uni =
+      ExtractActivity(op, 0, 1024, 5, StimulusKind::kUniform);
+  const ActivityProfile cor =
+      ExtractActivity(op, 0, 1024, 5, StimulusKind::kCorrelated);
+  const netlist::Bus& a = op.nl.InputBus("a");
+  const auto msb = a.bits[15];
+  EXPECT_LT(cor.RateOf(msb), uni.RateOf(msb));
+}
+
+TEST(Vcd, HeaderAndChangesWellFormed) {
+  netlist::Netlist nl("toggler");
+  const auto d = nl.AddInputPort("d");
+  const auto q = nl.AddGate(CellKind::kDff, {d});
+  nl.AddOutputPort("q", q);
+  LogicSim sim(nl);
+  sim.Reset();
+  VcdRecorder rec(nl, {});
+  std::ostringstream os;
+  rec.WriteHeader(os, sim);
+  for (int t = 0; t < 4; ++t) {
+    sim.SetInput(d, t % 2 == 0);
+    sim.Tick();
+    rec.Sample(os, sim, (std::uint64_t)t);
+  }
+  const std::string vcd = os.str();
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$var wire 1"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+}
+
+TEST(Vcd, SampleBeforeHeaderRejected) {
+  netlist::Netlist nl;
+  const auto d = nl.AddInputPort("d");
+  nl.AddOutputPort("q", nl.AddGate(CellKind::kBuf, {d}));
+  LogicSim sim(nl);
+  VcdRecorder rec(nl, {});
+  std::ostringstream os;
+  EXPECT_THROW(rec.Sample(os, sim, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace adq::sim

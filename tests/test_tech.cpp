@@ -1,0 +1,217 @@
+/// Tests for src/tech: back-bias model, alpha-power delay scaling,
+/// leakage model, and the synthetic cell library's physical sanity.
+
+#include <gtest/gtest.h>
+
+#include "tech/back_bias.h"
+#include "tech/cell.h"
+#include "tech/cell_library.h"
+#include "tech/delay_model.h"
+#include "tech/leakage_model.h"
+
+namespace adq::tech {
+namespace {
+
+TEST(BackBias, FbbLowersVthByBodyFactor) {
+  const ThresholdModel m;  // paper defaults
+  EXPECT_DOUBLE_EQ(m.Vth(BiasState::kNoBB), 0.35);
+  // 85 mV/V * 1.1 V = 93.5 mV shift.
+  EXPECT_NEAR(m.Vth(BiasState::kFBB), 0.35 - 0.0935, 1e-12);
+}
+
+TEST(BackBias, ShiftIsZeroForNoBB) {
+  const BackBiasParams bb;
+  EXPECT_DOUBLE_EQ(bb.VthShift(BiasState::kNoBB), 0.0);
+  EXPECT_LT(bb.VthShift(BiasState::kFBB), 0.0);
+}
+
+TEST(DelayModel, UnityAtReferencePoint) {
+  const DelayModel dm(1.0, 0.2565, 1.4);
+  EXPECT_NEAR(dm.ScaleFactor(1.0, 0.2565), 1.0, 1e-12);
+}
+
+TEST(DelayModel, SlowerAtLowerVdd) {
+  const DelayModel dm(1.0, 0.2565, 1.4);
+  double prev = dm.ScaleFactor(1.0, 0.2565);
+  for (const double vdd : {0.9, 0.8, 0.7, 0.6}) {
+    const double s = dm.ScaleFactor(vdd, 0.2565);
+    EXPECT_GT(s, prev) << "delay must grow monotonically as VDD drops";
+    prev = s;
+  }
+}
+
+TEST(DelayModel, SlowerAtHigherVth) {
+  const DelayModel dm(1.0, 0.2565, 1.4);
+  EXPECT_GT(dm.ScaleFactor(1.0, 0.35), dm.ScaleFactor(1.0, 0.2565));
+}
+
+TEST(DelayModel, RejectsVddBelowVth) {
+  const DelayModel dm(1.0, 0.2565, 1.4);
+  EXPECT_THROW(dm.ScaleFactor(0.2, 0.35), CheckError);
+}
+
+TEST(LeakageModel, ExponentialInVth) {
+  const LeakageModel lm(1e-3, 0.0364);
+  const double fbb = lm.Power(1.0, 1.0, 0.2565);
+  const double nobb = lm.Power(1.0, 1.0, 0.35);
+  // exp(0.0935 / 0.0364) ~ 13.0x ratio.
+  EXPECT_NEAR(fbb / nobb, std::exp(0.0935 / 0.0364), 1e-6);
+}
+
+TEST(LeakageModel, LinearInWeightAndVdd) {
+  const LeakageModel lm(1e-3, 0.0364);
+  EXPECT_NEAR(lm.Power(2.0, 1.0, 0.3), 2 * lm.Power(1.0, 1.0, 0.3), 1e-18);
+  EXPECT_NEAR(lm.Power(1.0, 0.5, 0.3), 0.5 * lm.Power(1.0, 1.0, 0.3),
+              1e-18);
+}
+
+TEST(Cell, PinCountsConsistent) {
+  for (int k = 0; k < kNumCellKinds; ++k) {
+    const auto kind = static_cast<CellKind>(k);
+    EXPECT_GE(NumInputs(kind), 0);
+    EXPECT_LE(NumInputs(kind), 3);
+    EXPECT_GE(NumOutputs(kind), 1);
+    EXPECT_LE(NumOutputs(kind), 2);
+  }
+}
+
+TEST(Cell, EvaluateTruthTables) {
+  bool in[3];
+  bool out[2];
+  // NAND2 / XOR2 exhaustively.
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      in[0] = a;
+      in[1] = b;
+      Evaluate(CellKind::kNand2, in, out);
+      EXPECT_EQ(out[0], !(a && b));
+      Evaluate(CellKind::kXor2, in, out);
+      EXPECT_EQ(out[0], a != b);
+    }
+  }
+}
+
+TEST(Cell, FullAdderTruthTable) {
+  bool in[3];
+  bool out[2];
+  for (int v = 0; v < 8; ++v) {
+    in[0] = v & 1;
+    in[1] = (v >> 1) & 1;
+    in[2] = (v >> 2) & 1;
+    Evaluate(CellKind::kFa, in, out);
+    const int sum = in[0] + in[1] + in[2];
+    EXPECT_EQ(out[0], sum & 1);
+    EXPECT_EQ(out[1], sum >> 1);
+  }
+}
+
+TEST(Cell, Aoi21Oai21) {
+  bool in[3];
+  bool out[2];
+  for (int v = 0; v < 8; ++v) {
+    in[0] = v & 1;
+    in[1] = (v >> 1) & 1;
+    in[2] = (v >> 2) & 1;
+    Evaluate(CellKind::kAoi21, in, out);
+    EXPECT_EQ(out[0], !((in[0] && in[1]) || in[2]));
+    Evaluate(CellKind::kOai21, in, out);
+    EXPECT_EQ(out[0], !((in[0] || in[1]) && in[2]));
+  }
+}
+
+TEST(Cell, DriveSizes) {
+  EXPECT_DOUBLE_EQ(DriveSize(DriveStrength::kX0P25), 0.25);
+  EXPECT_DOUBLE_EQ(DriveSize(DriveStrength::kX0P5), 0.5);
+  EXPECT_DOUBLE_EQ(DriveSize(DriveStrength::kX1), 1.0);
+  EXPECT_DOUBLE_EQ(DriveSize(DriveStrength::kX2), 2.0);
+  EXPECT_DOUBLE_EQ(DriveSize(DriveStrength::kX4), 4.0);
+}
+
+/// Library-wide physical sanity, parameterized over every variant.
+class LibraryVariant
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(LibraryVariant, PhysicallySane) {
+  const CellLibrary lib;
+  const auto kind = static_cast<CellKind>(std::get<0>(GetParam()));
+  const auto drive = static_cast<DriveStrength>(std::get<1>(GetParam()));
+  const CellVariant& v = lib.Variant(kind, drive);
+  EXPECT_GT(v.width_um, 0.0);
+  EXPECT_GE(v.d0_ns, 0.0);
+  EXPECT_GE(v.kd_ns_per_ff, 0.0);
+  EXPECT_GE(v.leak_weight, 0.0);
+  EXPECT_GT(lib.AreaUm2(kind, drive), 0.0);
+}
+
+TEST_P(LibraryVariant, UpsizingReducesLoadSensitivity) {
+  const CellLibrary lib;
+  const auto kind = static_cast<CellKind>(std::get<0>(GetParam()));
+  const auto drive = static_cast<DriveStrength>(std::get<1>(GetParam()));
+  if (IsTie(kind)) GTEST_SKIP() << "tie cells have no timing arcs";
+  if (drive == DriveStrength::kX4) GTEST_SKIP();
+  const auto bigger = static_cast<DriveStrength>(
+      static_cast<int>(drive) + 1);
+  EXPECT_GT(lib.Variant(kind, drive).kd_ns_per_ff,
+            lib.Variant(kind, bigger).kd_ns_per_ff);
+  EXPECT_LT(lib.Variant(kind, drive).leak_weight,
+            lib.Variant(kind, bigger).leak_weight);
+  EXPECT_LT(lib.Variant(kind, drive).width_um,
+            lib.Variant(kind, bigger).width_um);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, LibraryVariant,
+    ::testing::Combine(::testing::Range(0, kNumCellKinds),
+                       ::testing::Range(0, kNumDrives)));
+
+TEST(Library, FbbFasterButLeakier) {
+  const CellLibrary lib;
+  const auto fbb =
+      lib.At(CellKind::kNand2, DriveStrength::kX1, 1.0, BiasState::kFBB);
+  const auto nobb =
+      lib.At(CellKind::kNand2, DriveStrength::kX1, 1.0, BiasState::kNoBB);
+  EXPECT_LT(fbb.Delay(5.0), nobb.Delay(5.0));
+  EXPECT_GT(lib.LeakagePower(CellKind::kNand2, DriveStrength::kX1, 1.0,
+                             BiasState::kFBB),
+            lib.LeakagePower(CellKind::kNand2, DriveStrength::kX1, 1.0,
+                             BiasState::kNoBB));
+}
+
+TEST(Library, DelayScaleMatchesAtHelper) {
+  const CellLibrary lib;
+  const double s = lib.DelayScale(0.8, BiasState::kNoBB);
+  const auto t =
+      lib.At(CellKind::kXor2, DriveStrength::kX2, 0.8, BiasState::kNoBB);
+  const CellVariant& v = lib.Variant(CellKind::kXor2, DriveStrength::kX2);
+  EXPECT_NEAR(t.d0_ns, v.d0_ns * s, 1e-12);
+  EXPECT_NEAR(t.kd_ns_per_ff, v.kd_ns_per_ff * s, 1e-12);
+}
+
+TEST(Library, NoBBOverFbbDelayRatioMatchesSilicon) {
+  // FBB buys ~30-40% speed at nominal VDD in measured FDSOI silicon
+  // (threshold shift + drive-current boost) — the lever the
+  // methodology uses. A wildly larger ratio would be unphysical.
+  const CellLibrary lib;
+  const double ratio = lib.DelayScale(1.0, BiasState::kNoBB) /
+                       lib.DelayScale(1.0, BiasState::kFBB);
+  EXPECT_GT(ratio, 1.30);
+  EXPECT_LT(ratio, 1.70);
+}
+
+TEST(Library, DrivePenaltyOnlyAffectsNoBB) {
+  const CellLibrary lib;
+  const tech::BackBiasParams bb;
+  EXPECT_DOUBLE_EQ(bb.DrivePenalty(BiasState::kFBB), 1.0);
+  EXPECT_GT(bb.DrivePenalty(BiasState::kNoBB), 1.0);
+  // The FBB reference point is unchanged: scale == 1 there.
+  EXPECT_NEAR(lib.DelayScale(1.0, BiasState::kFBB), 1.0, 1e-12);
+}
+
+TEST(Library, SetupAndClkToQPositive) {
+  const CellLibrary lib;
+  EXPECT_GT(lib.ClkToQ(DriveStrength::kX1, 1.0, BiasState::kFBB), 0.0);
+  EXPECT_GT(lib.Setup(DriveStrength::kX1, 1.0, BiasState::kFBB), 0.0);
+}
+
+}  // namespace
+}  // namespace adq::tech

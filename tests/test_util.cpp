@@ -1,0 +1,153 @@
+/// Tests for src/util: checks, RNG determinism, histogram binning,
+/// table rendering, fixed-point helpers.
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/fixed_point.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace adq {
+namespace {
+
+TEST(Check, ThrowsOnFailureWithContext) {
+  EXPECT_THROW(ADQ_CHECK(1 == 2), CheckError);
+  try {
+    ADQ_CHECK_MSG(false, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(ADQ_CHECK(2 + 2 == 4));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  util::Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Word(), b.Word());
+}
+
+TEST(Rng, UniformIntInRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, Uniform01Bounds) {
+  util::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, FlipProbabilityRoughlyRespected) {
+  util::Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Flip(0.25);
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.03);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  util::Histogram h(0.0, 1.0, 10);
+  h.Add(0.05);   // bin 0
+  h.Add(0.95);   // bin 9
+  h.Add(-3.0);   // clamped to bin 0
+  h.Add(7.0);    // clamped to bin 9
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(9), 2);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 1.0);
+}
+
+TEST(Histogram, BinOfEdges) {
+  util::Histogram h(-0.3, 0.4, 14);
+  EXPECT_EQ(h.BinOf(-0.3), 0);
+  EXPECT_EQ(h.BinOf(0.399), 13);
+  // Clearly-interior samples land in their bin (exact edge behaviour
+  // is floating-point dependent and deliberately unspecified).
+  EXPECT_EQ(h.BinOf(-0.249), 1);
+  EXPECT_EQ(h.BinOf(-0.201), 1);
+}
+
+TEST(Histogram, RenderMarksViolations) {
+  util::Histogram h(-0.2, 0.2, 4);
+  h.Add(-0.15);
+  h.Add(0.15);
+  const std::string s = h.Render(0.0, "slack");
+  EXPECT_NE(s.find("violating"), std::string::npos);
+}
+
+TEST(Table, AlignedRender) {
+  util::Table t({"a", "bbbb"});
+  t.AddRow({"1", "2"});
+  const std::string s = t.Render();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvRender) {
+  util::Table t({"x", "y"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.RenderCsv(), "x,y\n1,2\n");
+}
+
+TEST(Table, RowArityChecked) {
+  util::Table t({"x", "y"});
+  EXPECT_THROW(t.AddRow({"only-one"}), CheckError);
+}
+
+TEST(FixedPoint, MaskLsbs) {
+  EXPECT_EQ(util::MaskLsbs(0xFFFF, 16, 4), 0xFFF0u);
+  EXPECT_EQ(util::MaskLsbs(0xFFFF, 16, 0), 0xFFFFu);
+  EXPECT_EQ(util::MaskLsbs(0xFFFF, 16, 16), 0u);
+  EXPECT_EQ(util::MaskLsbs(0x12345, 16, 8), 0x2300u);  // width-trimmed
+}
+
+TEST(FixedPoint, SignedRoundTrip) {
+  for (const std::int64_t v : {-32768LL, -1LL, 0LL, 1LL, 32767LL}) {
+    EXPECT_EQ(util::ToSigned(util::FromSigned(v, 16), 16), v);
+  }
+}
+
+TEST(FixedPoint, ToSignedSignExtension) {
+  EXPECT_EQ(util::ToSigned(0x8000, 16), -32768);
+  EXPECT_EQ(util::ToSigned(0xFFFF, 16), -1);
+  EXPECT_EQ(util::ToSigned(0x7FFF, 16), 32767);
+}
+
+TEST(FixedPoint, Bit) {
+  EXPECT_TRUE(util::Bit(0b100, 2));
+  EXPECT_FALSE(util::Bit(0b100, 1));
+}
+
+/// Property sweep: masking then sign-decoding equals arithmetic
+/// truncation toward the masked grid.
+class MaskProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskProperty, MaskedValueIsMultipleOfStep) {
+  const int z = GetParam();
+  util::Rng rng(z + 1);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t raw = rng.Word() & 0xFFFF;
+    const std::uint64_t masked = util::MaskLsbs(raw, 16, z);
+    EXPECT_EQ(masked % (1ULL << z), 0u);
+    // Masking never increases the unsigned value.
+    EXPECT_LE(masked, raw);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZeroCounts, MaskProperty,
+                         ::testing::Values(0, 1, 3, 7, 12, 16));
+
+}  // namespace
+}  // namespace adq
