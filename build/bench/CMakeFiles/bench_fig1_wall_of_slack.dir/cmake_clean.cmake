@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_wall_of_slack.dir/bench_fig1_wall_of_slack.cpp.o"
+  "CMakeFiles/bench_fig1_wall_of_slack.dir/bench_fig1_wall_of_slack.cpp.o.d"
+  "bench_fig1_wall_of_slack"
+  "bench_fig1_wall_of_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_wall_of_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

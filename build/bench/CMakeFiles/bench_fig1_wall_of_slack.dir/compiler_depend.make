@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig1_wall_of_slack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_path_classes.dir/bench_fig2_path_classes.cpp.o"
+  "CMakeFiles/bench_fig2_path_classes.dir/bench_fig2_path_classes.cpp.o.d"
+  "bench_fig2_path_classes"
+  "bench_fig2_path_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_path_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

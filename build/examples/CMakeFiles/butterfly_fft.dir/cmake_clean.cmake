@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_fft.dir/butterfly_fft.cpp.o"
+  "CMakeFiles/butterfly_fft.dir/butterfly_fft.cpp.o.d"
+  "butterfly_fft"
+  "butterfly_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

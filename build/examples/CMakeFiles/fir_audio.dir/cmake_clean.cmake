@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fir_audio.dir/fir_audio.cpp.o"
+  "CMakeFiles/fir_audio.dir/fir_audio.cpp.o.d"
+  "fir_audio"
+  "fir_audio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fir_audio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

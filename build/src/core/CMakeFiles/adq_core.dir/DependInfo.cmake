@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cpp" "src/core/CMakeFiles/adq_core.dir/accuracy.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/accuracy.cpp.o.d"
+  "/root/repo/src/core/band_optimizer.cpp" "src/core/CMakeFiles/adq_core.dir/band_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/band_optimizer.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/adq_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/dvas.cpp" "src/core/CMakeFiles/adq_core.dir/dvas.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/dvas.cpp.o.d"
+  "/root/repo/src/core/error_metrics.cpp" "src/core/CMakeFiles/adq_core.dir/error_metrics.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/error_metrics.cpp.o.d"
+  "/root/repo/src/core/explore.cpp" "src/core/CMakeFiles/adq_core.dir/explore.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/explore.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/core/CMakeFiles/adq_core.dir/flow.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/flow.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/adq_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/adq_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/variation.cpp" "src/core/CMakeFiles/adq_core.dir/variation.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/variation.cpp.o.d"
+  "/root/repo/src/core/vdd_islands.cpp" "src/core/CMakeFiles/adq_core.dir/vdd_islands.cpp.o" "gcc" "src/core/CMakeFiles/adq_core.dir/vdd_islands.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen/CMakeFiles/adq_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/adq_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/adq_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/adq_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/adq_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/adq_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/adq_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

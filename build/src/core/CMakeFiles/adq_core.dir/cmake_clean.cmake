@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adq_core.dir/accuracy.cpp.o"
+  "CMakeFiles/adq_core.dir/accuracy.cpp.o.d"
+  "CMakeFiles/adq_core.dir/band_optimizer.cpp.o"
+  "CMakeFiles/adq_core.dir/band_optimizer.cpp.o.d"
+  "CMakeFiles/adq_core.dir/controller.cpp.o"
+  "CMakeFiles/adq_core.dir/controller.cpp.o.d"
+  "CMakeFiles/adq_core.dir/dvas.cpp.o"
+  "CMakeFiles/adq_core.dir/dvas.cpp.o.d"
+  "CMakeFiles/adq_core.dir/error_metrics.cpp.o"
+  "CMakeFiles/adq_core.dir/error_metrics.cpp.o.d"
+  "CMakeFiles/adq_core.dir/explore.cpp.o"
+  "CMakeFiles/adq_core.dir/explore.cpp.o.d"
+  "CMakeFiles/adq_core.dir/flow.cpp.o"
+  "CMakeFiles/adq_core.dir/flow.cpp.o.d"
+  "CMakeFiles/adq_core.dir/pareto.cpp.o"
+  "CMakeFiles/adq_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/adq_core.dir/schedule.cpp.o"
+  "CMakeFiles/adq_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/adq_core.dir/variation.cpp.o"
+  "CMakeFiles/adq_core.dir/variation.cpp.o.d"
+  "CMakeFiles/adq_core.dir/vdd_islands.cpp.o"
+  "CMakeFiles/adq_core.dir/vdd_islands.cpp.o.d"
+  "libadq_core.a"
+  "libadq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

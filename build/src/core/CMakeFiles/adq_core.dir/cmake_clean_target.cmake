@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadq_core.a"
+)

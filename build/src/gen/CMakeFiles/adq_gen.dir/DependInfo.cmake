@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/adders.cpp" "src/gen/CMakeFiles/adq_gen.dir/adders.cpp.o" "gcc" "src/gen/CMakeFiles/adq_gen.dir/adders.cpp.o.d"
+  "/root/repo/src/gen/array_mult.cpp" "src/gen/CMakeFiles/adq_gen.dir/array_mult.cpp.o" "gcc" "src/gen/CMakeFiles/adq_gen.dir/array_mult.cpp.o.d"
+  "/root/repo/src/gen/booth.cpp" "src/gen/CMakeFiles/adq_gen.dir/booth.cpp.o" "gcc" "src/gen/CMakeFiles/adq_gen.dir/booth.cpp.o.d"
+  "/root/repo/src/gen/operator.cpp" "src/gen/CMakeFiles/adq_gen.dir/operator.cpp.o" "gcc" "src/gen/CMakeFiles/adq_gen.dir/operator.cpp.o.d"
+  "/root/repo/src/gen/wallace.cpp" "src/gen/CMakeFiles/adq_gen.dir/wallace.cpp.o" "gcc" "src/gen/CMakeFiles/adq_gen.dir/wallace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/adq_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/adq_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adq_gen.dir/adders.cpp.o"
+  "CMakeFiles/adq_gen.dir/adders.cpp.o.d"
+  "CMakeFiles/adq_gen.dir/array_mult.cpp.o"
+  "CMakeFiles/adq_gen.dir/array_mult.cpp.o.d"
+  "CMakeFiles/adq_gen.dir/booth.cpp.o"
+  "CMakeFiles/adq_gen.dir/booth.cpp.o.d"
+  "CMakeFiles/adq_gen.dir/operator.cpp.o"
+  "CMakeFiles/adq_gen.dir/operator.cpp.o.d"
+  "CMakeFiles/adq_gen.dir/wallace.cpp.o"
+  "CMakeFiles/adq_gen.dir/wallace.cpp.o.d"
+  "libadq_gen.a"
+  "libadq_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adq_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

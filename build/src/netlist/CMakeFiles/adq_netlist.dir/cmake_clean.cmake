@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adq_netlist.dir/case_analysis.cpp.o"
+  "CMakeFiles/adq_netlist.dir/case_analysis.cpp.o.d"
+  "CMakeFiles/adq_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/adq_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/adq_netlist.dir/stats.cpp.o"
+  "CMakeFiles/adq_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/adq_netlist.dir/topo.cpp.o"
+  "CMakeFiles/adq_netlist.dir/topo.cpp.o.d"
+  "CMakeFiles/adq_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/adq_netlist.dir/verilog.cpp.o.d"
+  "libadq_netlist.a"
+  "libadq_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adq_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adq_opt.dir/buffering.cpp.o"
+  "CMakeFiles/adq_opt.dir/buffering.cpp.o.d"
+  "CMakeFiles/adq_opt.dir/sizing.cpp.o"
+  "CMakeFiles/adq_opt.dir/sizing.cpp.o.d"
+  "libadq_opt.a"
+  "libadq_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adq_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/place/def_writer.cpp" "src/place/CMakeFiles/adq_place.dir/def_writer.cpp.o" "gcc" "src/place/CMakeFiles/adq_place.dir/def_writer.cpp.o.d"
+  "/root/repo/src/place/grid_partition.cpp" "src/place/CMakeFiles/adq_place.dir/grid_partition.cpp.o" "gcc" "src/place/CMakeFiles/adq_place.dir/grid_partition.cpp.o.d"
+  "/root/repo/src/place/placer.cpp" "src/place/CMakeFiles/adq_place.dir/placer.cpp.o" "gcc" "src/place/CMakeFiles/adq_place.dir/placer.cpp.o.d"
+  "/root/repo/src/place/wirelength.cpp" "src/place/CMakeFiles/adq_place.dir/wirelength.cpp.o" "gcc" "src/place/CMakeFiles/adq_place.dir/wirelength.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/adq_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/adq_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

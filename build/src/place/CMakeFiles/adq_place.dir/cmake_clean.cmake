@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adq_place.dir/def_writer.cpp.o"
+  "CMakeFiles/adq_place.dir/def_writer.cpp.o.d"
+  "CMakeFiles/adq_place.dir/grid_partition.cpp.o"
+  "CMakeFiles/adq_place.dir/grid_partition.cpp.o.d"
+  "CMakeFiles/adq_place.dir/placer.cpp.o"
+  "CMakeFiles/adq_place.dir/placer.cpp.o.d"
+  "CMakeFiles/adq_place.dir/wirelength.cpp.o"
+  "CMakeFiles/adq_place.dir/wirelength.cpp.o.d"
+  "libadq_place.a"
+  "libadq_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adq_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adq_power.dir/power.cpp.o"
+  "CMakeFiles/adq_power.dir/power.cpp.o.d"
+  "libadq_power.a"
+  "libadq_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adq_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/activity.cpp" "src/sim/CMakeFiles/adq_sim.dir/activity.cpp.o" "gcc" "src/sim/CMakeFiles/adq_sim.dir/activity.cpp.o.d"
+  "/root/repo/src/sim/logic_sim.cpp" "src/sim/CMakeFiles/adq_sim.dir/logic_sim.cpp.o" "gcc" "src/sim/CMakeFiles/adq_sim.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/sim/stimulus.cpp" "src/sim/CMakeFiles/adq_sim.dir/stimulus.cpp.o" "gcc" "src/sim/CMakeFiles/adq_sim.dir/stimulus.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/adq_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/adq_sim.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/adq_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/adq_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/adq_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adq_sim.dir/activity.cpp.o"
+  "CMakeFiles/adq_sim.dir/activity.cpp.o.d"
+  "CMakeFiles/adq_sim.dir/logic_sim.cpp.o"
+  "CMakeFiles/adq_sim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/adq_sim.dir/stimulus.cpp.o"
+  "CMakeFiles/adq_sim.dir/stimulus.cpp.o.d"
+  "CMakeFiles/adq_sim.dir/vcd.cpp.o"
+  "CMakeFiles/adq_sim.dir/vcd.cpp.o.d"
+  "libadq_sim.a"
+  "libadq_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adq_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

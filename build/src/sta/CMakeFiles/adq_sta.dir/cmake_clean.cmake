@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adq_sta.dir/slack_histogram.cpp.o"
+  "CMakeFiles/adq_sta.dir/slack_histogram.cpp.o.d"
+  "CMakeFiles/adq_sta.dir/sta.cpp.o"
+  "CMakeFiles/adq_sta.dir/sta.cpp.o.d"
+  "libadq_sta.a"
+  "libadq_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adq_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

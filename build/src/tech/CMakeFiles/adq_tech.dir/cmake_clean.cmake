@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adq_tech.dir/cell_library.cpp.o"
+  "CMakeFiles/adq_tech.dir/cell_library.cpp.o.d"
+  "CMakeFiles/adq_tech.dir/liberty_writer.cpp.o"
+  "CMakeFiles/adq_tech.dir/liberty_writer.cpp.o.d"
+  "libadq_tech.a"
+  "libadq_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adq_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

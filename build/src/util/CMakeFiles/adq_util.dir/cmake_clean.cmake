@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adq_util.dir/histogram.cpp.o"
+  "CMakeFiles/adq_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/adq_util.dir/table.cpp.o"
+  "CMakeFiles/adq_util.dir/table.cpp.o.d"
+  "libadq_util.a"
+  "libadq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

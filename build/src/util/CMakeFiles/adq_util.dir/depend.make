@@ -1,0 +1,2 @@
+# Empty dependencies file for adq_util.
+# This may be replaced when dependencies are built.

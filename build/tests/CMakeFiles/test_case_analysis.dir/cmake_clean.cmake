@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_case_analysis.dir/test_case_analysis.cpp.o"
+  "CMakeFiles/test_case_analysis.dir/test_case_analysis.cpp.o.d"
+  "test_case_analysis"
+  "test_case_analysis.pdb"
+  "test_case_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_case_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multipliers.dir/test_multipliers.cpp.o"
+  "CMakeFiles/test_multipliers.dir/test_multipliers.cpp.o.d"
+  "test_multipliers"
+  "test_multipliers.pdb"
+  "test_multipliers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multipliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
