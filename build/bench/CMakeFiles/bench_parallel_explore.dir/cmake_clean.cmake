@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_explore.dir/bench_parallel_explore.cpp.o"
+  "CMakeFiles/bench_parallel_explore.dir/bench_parallel_explore.cpp.o.d"
+  "bench_parallel_explore"
+  "bench_parallel_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/histogram.cpp" "src/util/CMakeFiles/adq_util.dir/histogram.cpp.o" "gcc" "src/util/CMakeFiles/adq_util.dir/histogram.cpp.o.d"
   "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/adq_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/adq_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/adq_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/adq_util.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/adq_util.dir/histogram.cpp.o.d"
   "CMakeFiles/adq_util.dir/table.cpp.o"
   "CMakeFiles/adq_util.dir/table.cpp.o.d"
+  "CMakeFiles/adq_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/adq_util.dir/thread_pool.cpp.o.d"
   "libadq_util.a"
   "libadq_util.pdb"
 )

@@ -296,10 +296,13 @@ tests/CMakeFiles/test_adders.dir/test_adders.cpp.o: \
  /root/repo/src/gen/adders.h /root/repo/src/gen/words.h \
  /root/repo/src/netlist/netlist.h /root/repo/src/netlist/ids.h \
  /root/repo/src/tech/cell.h /root/repo/src/util/check.h \
- /root/repo/tests/harness.h /root/repo/src/sim/logic_sim.h \
- /root/repo/src/netlist/topo.h /root/repo/src/util/fixed_point.h \
- /root/repo/src/util/rng.h /usr/include/c++/12/random \
- /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/tests/harness.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/logic_sim.h /root/repo/src/netlist/topo.h \
+ /root/repo/src/util/fixed_point.h /root/repo/src/util/rng.h \
+ /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \

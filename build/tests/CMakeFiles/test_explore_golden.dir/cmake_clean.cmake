@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_explore_golden.dir/test_explore_golden.cpp.o"
+  "CMakeFiles/test_explore_golden.dir/test_explore_golden.cpp.o.d"
+  "test_explore_golden"
+  "test_explore_golden.pdb"
+  "test_explore_golden[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_explore_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel_explore.cpp" "tests/CMakeFiles/test_parallel_explore.dir/test_parallel_explore.cpp.o" "gcc" "tests/CMakeFiles/test_parallel_explore.dir/test_parallel_explore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/adq_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/adq_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/adq_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adq_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/adq_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/place/CMakeFiles/adq_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/adq_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/adq_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

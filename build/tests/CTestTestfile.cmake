@@ -18,6 +18,9 @@ include("/root/repo/build/tests/test_opt[1]_include.cmake")
 include("/root/repo/build/tests/test_power[1]_include.cmake")
 include("/root/repo/build/tests/test_flow[1]_include.cmake")
 include("/root/repo/build/tests/test_explore[1]_include.cmake")
+include("/root/repo/build/tests/test_explore_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_explore[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
 include("/root/repo/build/tests/test_integration[1]_include.cmake")
 include("/root/repo/build/tests/test_extensions[1]_include.cmake")
 include("/root/repo/build/tests/test_crosscheck[1]_include.cmake")

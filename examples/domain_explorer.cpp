@@ -3,8 +3,11 @@
 /// and a Vth-domain grid, get the full methodology report.
 ///
 /// Usage: domain_explorer [booth|butterfly|fir|mac|array] [NX] [NY]
-///                        [regular|bands]
-/// Defaults: booth 2 2 regular. This generalizes the paper's Fig. 6
+///                        [regular|bands] [threads]
+/// Defaults: booth 2 2 regular 0 (threads: 0 = one per hardware
+/// thread, 1 = serial; any value gives identical results — the
+/// exploration's deterministic-merge guarantee). This generalizes
+/// the paper's Fig. 6
 /// study to any operator/grid combination (optionally with
 /// criticality-fitted band cuts) and prints everything a designer
 /// needs to pick a grid: area overhead, per-mode optimal knobs, and
@@ -22,6 +25,7 @@
 #include "gen/operator.h"
 #include "netlist/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace adq;
@@ -48,6 +52,8 @@ int main(int argc, char** argv) {
   fopt.grid = grid;
   if (argc > 4 && std::strcmp(argv[4], "bands") == 0)
     fopt.strategy = core::DomainStrategy::kCriticalityBands;
+  const int threads = argc > 5 ? std::atoi(argv[5]) : 0;
+  fopt.num_threads = threads;
   std::printf("operator %s, grid %s (%s)\n", op.spec.name.c_str(),
               grid.ToString().c_str(),
               fopt.strategy == core::DomainStrategy::kCriticalityBands
@@ -64,6 +70,7 @@ int main(int argc, char** argv) {
       design.timing_met ? "met" : "VIOLATED", design.sizing.wns_ns);
 
   core::ExploreOptions xopt;
+  xopt.num_threads = threads;
   const core::ExplorationResult ours =
       core::ExploreDesignSpace(design, lib, xopt);
   const auto dvas_fbb =
@@ -90,8 +97,8 @@ int main(int argc, char** argv) {
   std::fputs(t.Render().c_str(), stdout);
   std::printf(
       "\nexploration: %ld points considered, %ld STA runs, %.0f%% "
-      "filtered\n",
+      "filtered (%d worker threads)\n",
       ours.stats.points_considered, ours.stats.sta_runs,
-      100.0 * ours.stats.FilterRate());
+      100.0 * ours.stats.FilterRate(), util::ResolveNumThreads(threads));
   return 0;
 }

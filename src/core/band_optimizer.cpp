@@ -2,19 +2,21 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "core/accuracy.h"
 #include "sta/sta.h"
+#include "util/thread_pool.h"
 
 namespace adq::core {
 
 std::vector<double> AccuracyCriticality(
     const gen::Operator& op, const tech::CellLibrary& lib,
     const place::NetLoads& loads, double clock_ns,
-    const std::vector<int>& bitwidths, double slack_window_ns) {
+    const std::vector<int>& bitwidths, double slack_window_ns,
+    int num_threads) {
   ADQ_CHECK(!bitwidths.empty());
   const netlist::Netlist& nl = op.nl;
-  sta::TimingAnalyzer analyzer(nl, lib, loads);
   const std::vector<tech::BiasState> fbb(nl.num_instances(),
                                          tech::BiasState::kFBB);
 
@@ -22,10 +24,38 @@ std::vector<double> AccuracyCriticality(
   std::vector<int> sorted = bitwidths;
   std::sort(sorted.begin(), sorted.end());
 
-  for (const int bw : sorted) {
-    const netlist::CaseAnalysis ca(nl, ForcedZeros(op, bw));
-    const auto dt = analyzer.AnalyzeDetailed(
-        tech::CellLibrary::kVddNominal, clock_ns, fbb, &ca);
+  // The probes (one detailed STA per bitwidth) are independent; only
+  // the score claiming below is order-sensitive, so compute them all
+  // first — sharded across workers when asked — then fold serially in
+  // ascending-bitwidth order.
+  std::vector<sta::TimingAnalyzer::DetailedTiming> dts(sorted.size());
+  const int nthreads = util::ResolveNumThreads(num_threads);
+  if (nthreads <= 1) {
+    sta::TimingAnalyzer analyzer(nl, lib, loads);
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      const netlist::CaseAnalysis ca(nl, ForcedZeros(op, sorted[i]));
+      dts[i] = analyzer.AnalyzeDetailed(tech::CellLibrary::kVddNominal,
+                                        clock_ns, fbb, &ca);
+    }
+  } else {
+    util::ThreadPool pool(nthreads);
+    std::vector<std::unique_ptr<sta::TimingAnalyzer>> analyzer(
+        static_cast<std::size_t>(pool.num_threads()));
+    pool.ParallelFor(
+        static_cast<std::int64_t>(sorted.size()), 1,
+        [&](std::int64_t i, int w) {
+          auto& a = analyzer[static_cast<std::size_t>(w)];
+          if (!a) a = std::make_unique<sta::TimingAnalyzer>(nl, lib, loads);
+          const netlist::CaseAnalysis ca(
+              nl, ForcedZeros(op, sorted[static_cast<std::size_t>(i)]));
+          dts[static_cast<std::size_t>(i)] = a->AnalyzeDetailed(
+              tech::CellLibrary::kVddNominal, clock_ns, fbb, &ca);
+        });
+  }
+
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    const int bw = sorted[k];
+    const auto& dt = dts[k];
     const double frac =
         static_cast<double>(bw) / op.spec.data_width;
     for (std::uint32_t i = 0; i < nl.num_instances(); ++i) {

@@ -34,10 +34,15 @@ namespace adq::core {
 /// is the sample of accuracy modes probed (ascending); cells critical
 /// at bitwidths[k] score bitwidths[k]/data_width; never-critical
 /// cells score 1.25 (they can stay unboosted in every mode).
+/// `num_threads` shards the per-bitwidth timing probes (0 = one per
+/// hardware thread); the scores are identical for every setting
+/// because each probe is independent and they are folded in
+/// ascending-bitwidth order.
 std::vector<double> AccuracyCriticality(
     const gen::Operator& op, const tech::CellLibrary& lib,
     const place::NetLoads& loads, double clock_ns,
-    const std::vector<int>& bitwidths, double slack_window_ns);
+    const std::vector<int>& bitwidths, double slack_window_ns,
+    int num_threads = 1);
 
 /// Optimal contiguous partition of the placement rows into `ny`
 /// bands (returns rows per band, bottom-up). Rows with no cells are

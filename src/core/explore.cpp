@@ -1,9 +1,12 @@
 #include "core/explore.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "core/accuracy.h"
 #include "sta/sta.h"
+#include "util/thread_pool.h"
 
 namespace adq::core {
 
@@ -26,36 +29,77 @@ std::vector<BiasState> BiasVectorFor(const ImplementedDesign& design,
   return bias;
 }
 
-ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
-                                     const tech::CellLibrary& lib,
-                                     const ExploreOptions& opt) {
+namespace {
+
+void FillBias(const ImplementedDesign& design, std::uint32_t mask,
+              std::vector<BiasState>& bias) {
+  const std::vector<int>& dom = design.partition.domain_of;
+  for (std::size_t i = 0; i < dom.size(); ++i)
+    bias[i] = ((mask >> dom[i]) & 1u) ? BiasState::kFBB : BiasState::kNoBB;
+}
+
+double MaskLeakageW(const power::PowerModel& pmodel,
+                    const std::vector<double>& dom_weight, int ndom,
+                    double vdd, std::uint32_t mask) {
+  double leak_w = 0.0;
+  for (int d = 0; d < ndom; ++d)
+    leak_w += pmodel.DomainLeakageW(
+        dom_weight[static_cast<std::size_t>(d)], vdd,
+        ((mask >> d) & 1u) ? BiasState::kFBB : BiasState::kNoBB);
+  return leak_w;
+}
+
+/// Greedy RBB demotion of the mode's best point (see ExploreOptions::
+/// enable_rbb_sleep). Serial by design: it mutates one point and its
+/// STA count, and its cost is O(ndom) next to the O(2^ndom) sweep.
+void RbbSleepPass(const ImplementedDesign& design,
+                  const power::PowerModel& pmodel,
+                  const std::vector<double>& dom_weight,
+                  sta::TimingAnalyzer& analyzer,
+                  const netlist::CaseAnalysis& ca,
+                  std::vector<BiasState>& bias, ModeResult& mode,
+                  ExplorationStats& stats) {
   const netlist::Netlist& nl = design.op.nl;
   const int ndom = design.num_domains();
-  ADQ_CHECK_MSG(ndom <= 20, "2^" << ndom << " masks is beyond exhaustive");
-
-  std::vector<int> bitwidths = opt.bitwidths;
-  if (bitwidths.empty()) {
-    for (int b = 1; b <= design.op.spec.data_width; ++b)
-      bitwidths.push_back(b);
+  ExploredPoint& best = mode.best;
+  auto rebuild_bias = [&]() {
+    for (std::uint32_t i = 0; i < nl.num_instances(); ++i)
+      bias[i] = best.DomainState(design.partition.domain_of[i]);
+  };
+  for (int d = 0; d < ndom; ++d) {
+    if ((best.mask >> d) & 1u) continue;  // boosted domains stay
+    best.rbb_mask |= 1u << d;
+    rebuild_bias();
+    ++stats.sta_runs;
+    const sta::TimingReport rep =
+        analyzer.Analyze(best.vdd, design.clock_ns, bias, &ca);
+    if (!rep.feasible()) best.rbb_mask &= ~(1u << d);
   }
-  std::vector<std::uint32_t> masks = opt.masks;
-  if (masks.empty()) {
-    for (std::uint32_t m = 0; m < (1u << ndom); ++m) masks.push_back(m);
-  }
+  double leak_w = 0.0;
+  for (int d = 0; d < ndom; ++d)
+    leak_w += pmodel.DomainLeakageW(
+        dom_weight[static_cast<std::size_t>(d)], best.vdd,
+        best.DomainState(d));
+  best.power.leakage_w = leak_w;
+}
 
-  // Per-domain leakage weights: leakage of a mask is a ndom-term sum.
-  power::PowerModel pmodel(nl, lib, design.loads);
-  const std::vector<double> dom_weight =
-      pmodel.LeakWeightByDomain(design.partition.domain_of, ndom);
-
-  sta::TimingAnalyzer analyzer(nl, lib, design.loads);
+/// The legacy single-threaded sweep, kept verbatim as the reference
+/// semantics (ExploreOptions::num_threads == 1 selects it exactly).
+ExplorationResult ExploreSerial(const ImplementedDesign& design,
+                                const ExploreOptions& opt,
+                                const std::vector<int>& bitwidths,
+                                const std::vector<std::uint32_t>& masks,
+                                const power::PowerModel& pmodel,
+                                const std::vector<double>& dom_weight,
+                                sta::TimingAnalyzer& analyzer) {
+  const netlist::Netlist& nl = design.op.nl;
+  const int ndom = design.num_domains();
 
   // Monotonic pruning state: once (vdd, mask) fails at some bitwidth,
   // it fails for every larger one (more active paths). Indexed
   // [vdd][mask position].
   std::vector<std::vector<bool>> dead(
       opt.vdds.size(), std::vector<bool>(masks.size(), false));
-  std::sort(bitwidths.begin(), bitwidths.end());
 
   ExplorationResult result;
   std::vector<BiasState> bias(nl.num_instances());
@@ -82,10 +126,7 @@ ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
           continue;
         }
         const std::uint32_t mask = masks[mi];
-        for (std::uint32_t i = 0; i < nl.num_instances(); ++i)
-          bias[i] = ((mask >> design.partition.domain_of[i]) & 1u)
-                        ? BiasState::kFBB
-                        : BiasState::kNoBB;
+        FillBias(design, mask, bias);
         ++result.stats.sta_runs;
         const sta::TimingReport rep =
             analyzer.Analyze(vdd, design.clock_ns, bias, &ca);
@@ -104,11 +145,6 @@ ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
           continue;
         }
         ++result.stats.feasible;
-        double leak_w = 0.0;
-        for (int d = 0; d < ndom; ++d)
-          leak_w += pmodel.DomainLeakageW(
-              dom_weight[static_cast<std::size_t>(d)], vdd,
-              ((mask >> d) & 1u) ? BiasState::kFBB : BiasState::kNoBB);
         ExploredPoint p;
         p.bitwidth = bw;
         p.vdd = vdd;
@@ -116,7 +152,8 @@ ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
         p.feasible = true;
         p.wns_ns = rep.wns_ns;
         p.power.dynamic_w = dyn_w;
-        p.power.leakage_w = leak_w;
+        p.power.leakage_w =
+            MaskLeakageW(pmodel, dom_weight, ndom, vdd, mask);
         if (!mode.has_solution ||
             p.total_power_w() < mode.best.total_power_w()) {
           mode.has_solution = true;
@@ -126,33 +163,215 @@ ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
       }
     }
 
-    // --- Optional RBB sleep post-pass on the mode's best point.
-    if (opt.enable_rbb_sleep && mode.has_solution) {
-      ExploredPoint& best = mode.best;
-      auto rebuild_bias = [&]() {
-        for (std::uint32_t i = 0; i < nl.num_instances(); ++i)
-          bias[i] = best.DomainState(design.partition.domain_of[i]);
-      };
-      for (int d = 0; d < ndom; ++d) {
-        if ((best.mask >> d) & 1u) continue;  // boosted domains stay
-        best.rbb_mask |= 1u << d;
-        rebuild_bias();
-        ++result.stats.sta_runs;
-        const sta::TimingReport rep =
-            analyzer.Analyze(best.vdd, design.clock_ns, bias, &ca);
-        if (!rep.feasible()) best.rbb_mask &= ~(1u << d);
-      }
-      double leak_w = 0.0;
-      for (int d = 0; d < ndom; ++d)
-        leak_w += pmodel.DomainLeakageW(
-            dom_weight[static_cast<std::size_t>(d)], best.vdd,
-            best.DomainState(d));
-      best.power.leakage_w = leak_w;
-    }
+    if (opt.enable_rbb_sleep && mode.has_solution)
+      RbbSleepPass(design, pmodel, dom_weight, analyzer, ca, bias, mode,
+                   result.stats);
 
     result.modes.push_back(mode);
   }
   return result;
+}
+
+/// Outcome of one (bitwidth, vdd, mask) lattice point as recorded by
+/// a worker. The sweep writes these into index-addressed slots; the
+/// deterministic merge then folds them serially in lattice order, so
+/// stats, best-point ties and all_points ordering cannot depend on
+/// thread scheduling.
+struct PointRecord {
+  enum class Kind : std::uint8_t { kPruned, kInfeasible, kFeasible };
+  Kind kind = Kind::kPruned;
+  double wns_ns = 0.0;
+  double leak_w = 0.0;
+};
+
+ExplorationResult ExploreParallel(const ImplementedDesign& design,
+                                  const tech::CellLibrary& lib,
+                                  const ExploreOptions& opt,
+                                  const std::vector<int>& bitwidths,
+                                  const std::vector<std::uint32_t>& masks,
+                                  const power::PowerModel& pmodel,
+                                  const std::vector<double>& dom_weight,
+                                  int num_threads) {
+  const netlist::Netlist& nl = design.op.nl;
+  const int ndom = design.num_domains();
+
+  util::ThreadPool pool(num_threads);
+  const int nworkers = pool.num_threads();
+
+  // Per-worker STA contexts: Analyze() reuses per-net scratch, so
+  // each worker owns an analyzer over the shared read-only netlist.
+  // Created lazily by the first point a worker claims (also spreading
+  // the construction cost across the pool).
+  std::vector<std::unique_ptr<sta::TimingAnalyzer>> analyzer(
+      static_cast<std::size_t>(nworkers));
+  std::vector<std::vector<BiasState>> bias(
+      static_cast<std::size_t>(nworkers),
+      std::vector<BiasState>(nl.num_instances()));
+  auto worker_analyzer = [&](int w) -> sta::TimingAnalyzer& {
+    auto& a = analyzer[static_cast<std::size_t>(w)];
+    if (!a)
+      a = std::make_unique<sta::TimingAnalyzer>(nl, lib, design.loads);
+    return *a;
+  };
+
+  // Stage 1: per-mode constants — case analysis, activity simulation
+  // and switched energy are independent across bitwidths.
+  std::vector<std::unique_ptr<const netlist::CaseAnalysis>> ca(
+      bitwidths.size());
+  std::vector<double> energy_fj(bitwidths.size(), 0.0);
+  pool.ParallelFor(
+      static_cast<std::int64_t>(bitwidths.size()), 1,
+      [&](std::int64_t i, int) {
+        const int bw = bitwidths[static_cast<std::size_t>(i)];
+        ca[static_cast<std::size_t>(i)] =
+            std::make_unique<const netlist::CaseAnalysis>(
+                nl, ForcedZeros(design.op, bw));
+        const sim::ActivityProfile act = sim::ExtractActivity(
+            design.op, ZeroedLsbs(design.op, bw), opt.activity_cycles,
+            opt.seed, opt.stimulus);
+        energy_fj[static_cast<std::size_t>(i)] =
+            pmodel.SwitchedEnergyPerCycleFj(act);
+      });
+
+  // Monotone-infeasibility table shared across shards, slot = lattice
+  // index vi * |masks| + mi. A worker that proves (vdd, mask)
+  // infeasible at bitwidth b publishes the failure with a release
+  // store; sweeps of larger bitwidths read it with an acquire load.
+  // (Each slot is written at most once per bitwidth and only read by
+  // later bitwidths, which a pool barrier separates — the ordering
+  // makes the publication self-contained rather than barrier-reliant.)
+  const std::size_t nv = opt.vdds.size();
+  const std::size_t nm = masks.size();
+  std::vector<std::atomic<std::uint8_t>> dead(nv * nm);
+  for (auto& d : dead) d.store(0, std::memory_order_relaxed);
+
+  // Stage 2: per bitwidth (ascending, so pruning sees every smaller
+  // mode), shard the (VDD, mask) lattice, then merge serially.
+  ExplorationResult result;
+  std::vector<PointRecord> rec(nv * nm);
+  for (std::size_t bi = 0; bi < bitwidths.size(); ++bi) {
+    const int bw = bitwidths[bi];
+    const netlist::CaseAnalysis& bca = *ca[bi];
+
+    std::fill(rec.begin(), rec.end(), PointRecord{});
+    pool.ParallelFor(
+        static_cast<std::int64_t>(nv * nm), 1,
+        [&](std::int64_t idx, int w) {
+          const auto slot = static_cast<std::size_t>(idx);
+          if (opt.monotonic_pruning &&
+              dead[slot].load(std::memory_order_acquire))
+            return;  // record stays kPruned
+          const std::size_t vi = slot / nm;
+          const std::size_t mi = slot % nm;
+          const double vdd = opt.vdds[vi];
+          const std::uint32_t mask = masks[mi];
+          std::vector<BiasState>& b = bias[static_cast<std::size_t>(w)];
+          FillBias(design, mask, b);
+          const sta::TimingReport rep =
+              worker_analyzer(w).Analyze(vdd, design.clock_ns, b, &bca);
+          PointRecord& r = rec[slot];
+          r.wns_ns = rep.wns_ns;
+          if (!rep.feasible()) {
+            r.kind = PointRecord::Kind::kInfeasible;
+            dead[slot].store(1, std::memory_order_release);
+            return;
+          }
+          r.kind = PointRecord::Kind::kFeasible;
+          r.leak_w = MaskLeakageW(pmodel, dom_weight, ndom, vdd, mask);
+        });
+
+    // Deterministic merge: fold the records in the serial sweep's
+    // (vi, mi) order. Every number below is either copied from a
+    // record or recomputed from the same expressions the serial path
+    // uses, so the result is bit-identical to num_threads == 1.
+    ModeResult mode;
+    mode.bitwidth = bw;
+    mode.switched_energy_fj = energy_fj[bi];
+    for (std::size_t vi = 0; vi < nv; ++vi) {
+      const double vdd = opt.vdds[vi];
+      const double dyn_w = power::PowerModel::DynamicW(
+          energy_fj[bi], vdd, design.fclk_ghz());
+      for (std::size_t mi = 0; mi < nm; ++mi) {
+        const PointRecord& r = rec[vi * nm + mi];
+        ++result.stats.points_considered;
+        if (r.kind == PointRecord::Kind::kPruned) {
+          ++result.stats.filtered;
+          continue;
+        }
+        ++result.stats.sta_runs;
+        if (r.kind == PointRecord::Kind::kInfeasible) {
+          ++result.stats.filtered;
+          if (opt.keep_all_points) {
+            ExploredPoint p;
+            p.bitwidth = bw;
+            p.vdd = vdd;
+            p.mask = masks[mi];
+            p.feasible = false;
+            p.wns_ns = r.wns_ns;
+            result.all_points.push_back(p);
+          }
+          continue;
+        }
+        ++result.stats.feasible;
+        ExploredPoint p;
+        p.bitwidth = bw;
+        p.vdd = vdd;
+        p.mask = masks[mi];
+        p.feasible = true;
+        p.wns_ns = r.wns_ns;
+        p.power.dynamic_w = dyn_w;
+        p.power.leakage_w = r.leak_w;
+        if (!mode.has_solution ||
+            p.total_power_w() < mode.best.total_power_w()) {
+          mode.has_solution = true;
+          mode.best = p;
+        }
+        if (opt.keep_all_points) result.all_points.push_back(p);
+      }
+    }
+
+    if (opt.enable_rbb_sleep && mode.has_solution)
+      RbbSleepPass(design, pmodel, dom_weight, worker_analyzer(0), bca,
+                   bias[0], mode, result.stats);
+
+    result.modes.push_back(mode);
+  }
+  return result;
+}
+
+}  // namespace
+
+ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
+                                     const tech::CellLibrary& lib,
+                                     const ExploreOptions& opt) {
+  const netlist::Netlist& nl = design.op.nl;
+  const int ndom = design.num_domains();
+  ADQ_CHECK_MSG(ndom <= 20, "2^" << ndom << " masks is beyond exhaustive");
+
+  std::vector<int> bitwidths = opt.bitwidths;
+  if (bitwidths.empty()) {
+    for (int b = 1; b <= design.op.spec.data_width; ++b)
+      bitwidths.push_back(b);
+  }
+  std::sort(bitwidths.begin(), bitwidths.end());
+  std::vector<std::uint32_t> masks = opt.masks;
+  if (masks.empty()) {
+    for (std::uint32_t m = 0; m < (1u << ndom); ++m) masks.push_back(m);
+  }
+
+  // Per-domain leakage weights: leakage of a mask is a ndom-term sum.
+  power::PowerModel pmodel(nl, lib, design.loads);
+  const std::vector<double> dom_weight =
+      pmodel.LeakWeightByDomain(design.partition.domain_of, ndom);
+
+  const int num_threads = util::ResolveNumThreads(opt.num_threads);
+  if (num_threads <= 1) {
+    sta::TimingAnalyzer analyzer(nl, lib, design.loads);
+    return ExploreSerial(design, opt, bitwidths, masks, pmodel, dom_weight,
+                         analyzer);
+  }
+  return ExploreParallel(design, lib, opt, bitwidths, masks, pmodel,
+                         dom_weight, num_threads);
 }
 
 }  // namespace adq::core

@@ -97,6 +97,18 @@ struct ExploreOptions {
   /// back-bias where STA stays feasible — an order-of-magnitude
   /// leakage cut for logic that the accuracy mode disabled.
   bool enable_rbb_sleep = false;
+  /// Worker threads sharding the (VDD, mask) lattice and the per-mode
+  /// activity extraction: 0 = one per hardware thread, 1 = the exact
+  /// legacy single-threaded code path, n > 1 = n workers. Every
+  /// setting yields a bit-identical ExplorationResult — modes, stats
+  /// and all_points ordering included — because each lattice point is
+  /// a pure function of (bitwidth, VDD, mask) and the per-point
+  /// outcomes are folded serially in lattice order (deterministic
+  /// merge). The monotone-infeasibility filter prunes identically
+  /// too: the shared failure table is only consulted for bitwidths
+  /// above the one that set it, and bitwidths are separated by a
+  /// pool barrier. Contract enforced by tests/test_parallel_explore.
+  int num_threads = 0;
 };
 
 ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,

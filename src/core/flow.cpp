@@ -71,7 +71,8 @@ ImplementedDesign RunImplementationFlow(gen::Operator op,
     for (int b = 2; b <= d.op.spec.data_width; b += 2) probe_bw.push_back(b);
     const std::vector<double> score =
         AccuracyCriticality(d.op, lib, pre_loads, d.clock_ns, probe_bw,
-                            /*slack_window_ns=*/0.12 * d.clock_ns);
+                            /*slack_window_ns=*/0.12 * d.clock_ns,
+                            fopt.num_threads);
     const std::vector<int> bands =
         OptimizeBandRows(nl, first, score, fopt.grid.ny);
     d.partition = place::MakePartitionWithBands(nl, lib, first, fopt.grid.nx,

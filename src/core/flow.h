@@ -40,6 +40,11 @@ struct FlowOptions {
   /// Corner used for implementation (the paper characterizes all
   /// cells in FBB during the first P&R, Sec. IV-A).
   tech::BiasState corner = tech::BiasState::kFBB;
+  /// Worker threads for the flow's shardable stages (currently the
+  /// per-bitwidth criticality probes of kCriticalityBands): 0 = one
+  /// per hardware thread, 1 = single-threaded. The produced design is
+  /// identical for every setting.
+  int num_threads = 0;
 };
 
 struct ImplementedDesign {

@@ -1,0 +1,113 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace adq::util {
+
+int ResolveNumThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/// Shared control block of one ParallelFor invocation. Lives on the
+/// caller's stack; workers only touch it between the epoch bump and
+/// their workers_left_ check-in, both of which the caller awaits.
+struct ThreadPool::Job {
+  std::atomic<std::int64_t> next{0};  // first unclaimed index
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  const IndexFn* fn = nullptr;
+
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = ResolveNumThreads(num_threads);
+  workers_.reserve(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  for (int w = 1; w < n; ++w)
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      job = job_;
+    }
+    RunChunks(*job, worker);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--workers_left_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::RunChunks(Job& job, int worker) {
+  for (;;) {
+    const std::int64_t begin =
+        job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.end) return;
+    const std::int64_t end = std::min(job.end, begin + job.grain);
+    try {
+      for (std::int64_t i = begin; i < end; ++i) (*job.fn)(i, worker);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(job.error_mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      // Cancel chunks nobody claimed yet; in-flight ones finish.
+      job.next.store(job.end, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(std::int64_t n, std::int64_t grain,
+                             const IndexFn& fn) {
+  if (n <= 0) return;
+  grain = std::max<std::int64_t>(1, grain);
+  if (workers_.empty() || n <= grain) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Job job;
+  job.end = n;
+  job.grain = grain;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    workers_left_ = static_cast<int>(workers_.size());
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  RunChunks(job, 0);
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] { return workers_left_ == 0; });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace adq::util

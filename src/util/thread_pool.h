@@ -1,0 +1,81 @@
+#pragma once
+/// \file thread_pool.h
+/// \brief Persistent worker pool with a blocking ParallelFor.
+///
+/// The design-space exploration sweeps a large (VDD, bias-mask,
+/// bitwidth) lattice of independent STA evaluations; this pool is the
+/// engine that shards such lattices. Properties the callers rely on:
+///
+///   * workers are spawned once and reused across ParallelFor calls
+///     (an exploration issues one call per bitwidth);
+///   * chunks are handed out from a shared atomic cursor, so uneven
+///     point costs (pruned vs analyzed) load-balance dynamically;
+///   * every invocation of the body receives a stable worker index in
+///     [0, num_threads()), letting callers keep per-worker scratch
+///     state (cloned analyzers, bias vectors) without locking;
+///   * ParallelFor blocks until the whole range is done, which gives
+///     callers a happens-before edge from all body executions to the
+///     code after the call — the barrier the deterministic merge and
+///     the cross-bitwidth pruning table build on.
+///
+/// Determinism is the caller's contract, not the pool's: bodies must
+/// write to disjoint, index-addressed slots and the caller must fold
+/// the slots in index order afterwards.
+
+#include <cstdint>
+#include <functional>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adq::util {
+
+/// Resolves a user-facing thread-count knob: values > 0 pass through,
+/// 0 means one thread per hardware thread (at least 1).
+int ResolveNumThreads(int requested);
+
+class ThreadPool {
+ public:
+  /// Spawns `ResolveNumThreads(num_threads) - 1` workers; the thread
+  /// calling ParallelFor always participates as worker 0.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency, including the calling thread.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  using IndexFn = std::function<void(std::int64_t index, int worker)>;
+
+  /// Runs fn(i, worker) for every i in [0, n), in chunks of `grain`
+  /// consecutive indices, and blocks until all of them finished.
+  /// Ranges not worth sharding (n <= grain, or a 1-thread pool) run
+  /// inline on the caller. The first exception thrown by a body
+  /// cancels undistributed chunks and is rethrown here. Not
+  /// reentrant: fn must not call back into the same pool.
+  void ParallelFor(std::int64_t n, std::int64_t grain, const IndexFn& fn);
+
+ private:
+  struct Job;
+
+  void WorkerLoop(int worker);
+  static void RunChunks(Job& job, int worker);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;                   // guards the fields below
+  std::condition_variable work_cv_;  // workers: "a new job is posted"
+  std::condition_variable done_cv_;  // caller: "all workers checked in"
+  Job* job_ = nullptr;
+  std::uint64_t epoch_ = 0;  // bumped per job; workers track the last seen
+  int workers_left_ = 0;     // workers not yet done with the current job
+  bool stop_ = false;
+
+  std::mutex run_mu_;  // serializes concurrent ParallelFor callers
+};
+
+}  // namespace adq::util

@@ -2,6 +2,7 @@
 /// Shared test scaffolding: raw (unregistered) word-level I/O for
 /// exercising combinational generators with the logic simulator.
 
+#include <algorithm>
 #include <string>
 
 #include "gen/words.h"
