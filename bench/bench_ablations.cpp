@@ -14,7 +14,10 @@
 #include "core/vdd_islands.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  adq::bench::InitObs(argc, argv);
+  (void)argc;
+  (void)argv;
   using namespace adq;
   std::printf("=== Ablations (Booth 16x16 unless noted) ===\n\n");
   const std::vector<int> bits = {4, 6, 8, 10, 12, 14, 16};
@@ -145,5 +148,6 @@ int main() {
         "lose yield\nfirst — a deployment should derate the clock or "
         "re-explore with a\nguard-banded constraint.\n");
   }
+  adq::obs::Flush();
   return 0;
 }

@@ -9,7 +9,10 @@
 #include "sta/slack_histogram.h"
 #include "sta/sta.h"
 
-int main() {
+int main(int argc, char** argv) {
+  adq::bench::InitObs(argc, argv);
+  (void)argc;
+  (void)argv;
   using namespace adq;
   std::printf(
       "=== Fig. 1 — endpoint slack histogram, 16x16 Booth multiplier "
@@ -55,5 +58,6 @@ int main() {
     std::fputs(h.Render(0.0, label).c_str(), stdout);
     std::printf("violating endpoints: %d / %d\n\n", violating, active);
   }
+  adq::obs::Flush();
   return 0;
 }

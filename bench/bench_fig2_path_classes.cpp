@@ -14,7 +14,10 @@
 #include "sta/sta.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  adq::bench::InitObs(argc, argv);
+  (void)argc;
+  (void)argv;
   using namespace adq;
   std::printf(
       "=== Fig. 2 — endpoint path classes under reduced bitwidth "
@@ -50,5 +53,6 @@ int main() {
       "\nreading: disabled endpoints grow as bits shrink; negative-"
       "slack endpoints\nappear as VDD drops — those are the paths the "
       "method boosts via FBB.\n");
+  adq::obs::Flush();
   return 0;
 }

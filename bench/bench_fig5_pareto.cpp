@@ -18,7 +18,10 @@
 #include "common.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  adq::bench::InitObs(argc, argv);
+  (void)argc;
+  (void)argv;
   using namespace adq;
   std::printf("=== Fig. 5 — power vs accuracy: proposed vs DVAS ===\n\n");
 
@@ -106,5 +109,6 @@ int main() {
         proposed.stats.points_considered, proposed.stats.sta_runs,
         100.0 * proposed.stats.FilterRate());
   }
+  adq::obs::Flush();
   return 0;
 }

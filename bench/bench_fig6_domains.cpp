@@ -10,7 +10,10 @@
 #include "common.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  adq::bench::InitObs(argc, argv);
+  (void)argc;
+  (void)argv;
   using namespace adq;
   std::printf(
       "=== Fig. 6 — Vth-domain count/shape study (Booth 16x16) ===\n\n");
@@ -59,5 +62,6 @@ int main() {
       "\npaper: overheads ~8%%..32%% growing with domain count; power "
       "generally\nimproves with more domains, with occasional "
       "inversions caused by the\nguardband-stretched routes.\n");
+  adq::obs::Flush();
   return 0;
 }

@@ -5,9 +5,15 @@
 /// every thread count reproduces the serial result bit-for-bit.
 ///
 /// Usage: bench_parallel_explore [activity_cycles] [max_threads]
+///                               [--trace=f] [--metrics=f] [--progress]
 /// Defaults: 256 cycles, max(8, hardware). The design is the paper's
 /// 16-bit Booth multiplier on its Table I 2x2 grid — the full
 /// 2^4 masks x 16 bitwidths x 5 VDDs lattice.
+///
+/// Besides the human-readable table, every run appends to the perf
+/// trajectory by writing BENCH_parallel_explore.json (points/sec and
+/// speedup per thread count, lattice stats, git-describable build id)
+/// in the working directory.
 
 #include <algorithm>
 #include <chrono>
@@ -56,6 +62,7 @@ bool Identical(const adq::core::ExplorationResult& a,
 
 int main(int argc, char** argv) {
   using namespace adq;
+  bench::InitObs(argc, argv);
   const int cycles = argc > 1 ? std::atoi(argv[1]) : 256;
   const int hw = util::ResolveNumThreads(0);
   const int max_threads = argc > 2 ? std::atoi(argv[2]) : std::max(8, hw);
@@ -82,10 +89,26 @@ int main(int argc, char** argv) {
       serial.stats.points_considered, serial.stats.sta_runs,
       100.0 * serial.stats.FilterRate(), t_serial);
 
+  bench::BenchJson report;
+  report.Str("design", "booth16_2x2")
+      .Int("activity_cycles", cycles)
+      .Int("points", serial.stats.points_considered)
+      .Int("sta_runs", serial.stats.sta_runs)
+      .Int("pruned", serial.stats.pruned)
+      .Num("filter_rate", serial.stats.FilterRate())
+      .Num("serial_wall_s", t_serial)
+      .Num("serial_points_per_sec", points / t_serial);
+
   util::Table t({"threads", "wall [s]", "points/s", "speedup",
                  "identical to serial"});
   t.AddRow({"1", util::Table::Num(t_serial, 3),
             util::Table::Num(points / t_serial, 0), "1.00", "(reference)"});
+  report.Row("scaling")
+      .Int("threads", 1)
+      .Num("wall_s", t_serial)
+      .Num("points_per_sec", points / t_serial)
+      .Num("speedup", 1.0)
+      .Bool("identical", true);
   bool all_identical = true;
   for (int nt = 2; nt <= max_threads; nt *= 2) {
     core::ExplorationResult r;
@@ -95,6 +118,12 @@ int main(int argc, char** argv) {
     t.AddRow({std::to_string(nt), util::Table::Num(s, 3),
               util::Table::Num(points / s, 0),
               util::Table::Num(t_serial / s, 2), same ? "yes" : "NO"});
+    report.Row("scaling")
+        .Int("threads", nt)
+        .Num("wall_s", s)
+        .Num("points_per_sec", points / s)
+        .Num("speedup", t_serial / s)
+        .Bool("identical", same);
   }
   std::fputs(t.Render().c_str(), stdout);
   std::printf(
@@ -105,5 +134,8 @@ int main(int argc, char** argv) {
     std::printf("note: single hardware thread — speedups here measure "
                 "oversubscription overhead only; run on a multi-core "
                 "machine for scaling.\n");
+  report.Bool("all_identical", all_identical);
+  report.Write("parallel_explore");
+  obs::Flush();
   return all_identical ? 0 : 1;
 }

@@ -5,7 +5,10 @@
 #include "common.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  adq::bench::InitObs(argc, argv);
+  (void)argc;
+  (void)argv;
   using namespace adq;
   std::printf(
       "=== Table I — post-P&R design characteristics ===\n"
@@ -30,5 +33,6 @@ int main() {
       "cycles);\nthe paper does not specify its FIR microarchitecture, "
       "so the area is\nexpected to sit in the same decade, not to "
       "match exactly.\n");
+  adq::obs::Flush();
   return 0;
 }

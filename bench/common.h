@@ -1,8 +1,15 @@
 #pragma once
-/// Shared scaffolding for the figure/table reproduction harnesses.
+/// Shared scaffolding for the figure/table reproduction harnesses:
+/// the paper's Table I design set, plus the machine-readable
+/// BENCH_<name>.json emitter and observability plumbing every bench
+/// binary inherits (see InitObs / BenchJson below).
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/dvas.h"
 #include "core/explore.h"
@@ -10,6 +17,12 @@
 #include "core/pareto.h"
 #include "gen/operator.h"
 #include "netlist/stats.h"
+#include "obs/obs.h"
+
+// Injected per-target by bench/CMakeLists.txt from `git describe`.
+#ifndef ADQ_GIT_DESCRIBE
+#define ADQ_GIT_DESCRIBE "unknown"
+#endif
 
 namespace adq::bench {
 
@@ -51,5 +64,116 @@ inline std::string MaskToString(std::uint32_t mask, int ndom) {
   for (int d = ndom - 1; d >= 0; --d) s += ((mask >> d) & 1u) ? '1' : '0';
   return s;
 }
+
+/// Strips the shared observability flags (--trace= / --metrics= /
+/// --progress, env overridable) out of argv and configures the obs
+/// subsystem. Call first in every bench main, before the positional
+/// argv parsing; pair with obs::Flush() before returning.
+inline void InitObs(int& argc, char** argv) {
+  obs::Options o = obs::OptionsFromEnv();
+  int out = 1;
+  for (int i = 1; i < argc; ++i)
+    if (!obs::ParseObsFlag(argv[i], &o)) argv[out++] = argv[i];
+  argc = out;
+  obs::Configure(o);
+}
+
+/// Minimal ordered JSON-object builder for the BENCH_<name>.json
+/// perf-trajectory files. Values are rendered on insertion; nested
+/// one-level arrays of objects cover the per-thread/per-design rows
+/// the harnesses emit. Write() stamps the benchmark name and the
+/// git-describable build id so a result can always be pinned to a
+/// commit.
+class BenchJson {
+ public:
+  BenchJson() = default;
+
+  BenchJson& Str(const std::string& key, const std::string& v) {
+    std::string out;
+    for (const char c : v) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    fields_.emplace_back(key, "\"" + out + "\"");
+    return *this;
+  }
+  BenchJson& Num(const std::string& key, double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    fields_.emplace_back(key, buf);
+    return *this;
+  }
+  BenchJson& Int(const std::string& key, long long v) {
+    fields_.emplace_back(key, std::to_string(v));
+    return *this;
+  }
+  BenchJson& Bool(const std::string& key, bool v) {
+    fields_.emplace_back(key, v ? "true" : "false");
+    return *this;
+  }
+  /// Appends one object to the array `key` (created on first use) and
+  /// returns it for field population.
+  BenchJson& Row(const std::string& key) {
+    for (auto& [k, rows] : arrays_)
+      if (k == key) {
+        rows.emplace_back(new BenchJson);
+        return *rows.back();
+      }
+    arrays_.emplace_back(key, std::vector<std::unique_ptr<BenchJson>>{});
+    arrays_.back().second.emplace_back(new BenchJson);
+    return *arrays_.back().second.back();
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : fields_) {
+      out += first ? "" : ", ";
+      first = false;
+      out += "\"" + k + "\": " + v;
+    }
+    for (const auto& [k, rows] : arrays_) {
+      out += first ? "" : ", ";
+      first = false;
+      out += "\"" + k + "\": [";
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i) out += ", ";
+        out += rows[i]->Render();
+      }
+      out += "]";
+    }
+    out += "}";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json in the working directory with the
+  /// benchmark/build identity fields prepended.
+  bool Write(const std::string& bench_name) const {
+    BenchJson doc;
+    doc.Str("bench", bench_name)
+        .Str("build", ADQ_GIT_DESCRIBE)
+        .Int("hardware_threads",
+             static_cast<long long>(std::thread::hardware_concurrency()));
+    std::string body = doc.Render();
+    body.pop_back();  // strip '}' to splice our fields in
+    const std::string inner = Render();
+    if (inner.size() > 2) body += ", " + inner.substr(1);
+    else body += "}";
+    const std::string path = "BENCH_" + bench_name + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    const bool wrote =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    const bool ok = std::fclose(f) == 0 && wrote;
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<
+      std::pair<std::string, std::vector<std::unique_ptr<BenchJson>>>>
+      arrays_;
+};
 
 }  // namespace adq::bench

@@ -4,6 +4,7 @@
 ///
 /// Usage: domain_explorer [booth|butterfly|fir|mac|array] [NX] [NY]
 ///                        [regular|bands] [threads]
+///                        [--trace=f.json] [--metrics=f.json] [--progress]
 /// Defaults: booth 2 2 regular 0 (threads: 0 = one per hardware
 /// thread, 1 = serial; any value gives identical results — the
 /// exploration's deterministic-merge guarantee). This generalizes
@@ -12,10 +13,18 @@
 /// criticality-fitted band cuts) and prints everything a designer
 /// needs to pick a grid: area overhead, per-mode optimal knobs, and
 /// the savings against both DVAS baselines.
+///
+/// Observability (see README "Observability"): --trace writes a
+/// Chrome/Perfetto trace of the whole run (flow phases + per-worker
+/// exploration lanes), --metrics a counters/gauges/histograms
+/// snapshot (.csv selects CSV), --progress a rate-limited stderr
+/// status line. ADQ_TRACE/ADQ_METRICS/ADQ_PROGRESS env vars set the
+/// same knobs; flags win.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "core/controller.h"
 #include "core/dvas.h"
@@ -24,14 +33,21 @@
 #include "core/pareto.h"
 #include "gen/operator.h"
 #include "netlist/stats.h"
+#include "obs/obs.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   using namespace adq;
-  const char* which = argc > 1 ? argv[1] : "booth";
-  place::GridConfig grid{argc > 2 ? std::atoi(argv[2]) : 2,
-                         argc > 3 ? std::atoi(argv[3]) : 2};
+  obs::Options oopt = obs::OptionsFromEnv();
+  std::vector<const char*> pos;  // positional args, obs flags stripped
+  for (int i = 1; i < argc; ++i)
+    if (!obs::ParseObsFlag(argv[i], &oopt)) pos.push_back(argv[i]);
+  obs::Configure(oopt);
+
+  const char* which = pos.size() > 0 ? pos[0] : "booth";
+  place::GridConfig grid{pos.size() > 1 ? std::atoi(pos[1]) : 2,
+                         pos.size() > 2 ? std::atoi(pos[2]) : 2};
   if (grid.nx < 1 || grid.ny < 1 || grid.num_domains() > 12) {
     std::fprintf(stderr, "grid must be 1x1 .. 12 domains\n");
     return 1;
@@ -50,9 +66,9 @@ int main(int argc, char** argv) {
   const tech::CellLibrary lib;
   core::FlowOptions fopt;
   fopt.grid = grid;
-  if (argc > 4 && std::strcmp(argv[4], "bands") == 0)
+  if (pos.size() > 3 && std::strcmp(pos[3], "bands") == 0)
     fopt.strategy = core::DomainStrategy::kCriticalityBands;
-  const int threads = argc > 5 ? std::atoi(argv[5]) : 0;
+  const int threads = pos.size() > 4 ? std::atoi(pos[4]) : 0;
   fopt.num_threads = threads;
   std::printf("operator %s, grid %s (%s)\n", op.spec.name.c_str(),
               grid.ToString().c_str(),
@@ -100,5 +116,24 @@ int main(int argc, char** argv) {
       "filtered (%d worker threads)\n",
       ours.stats.points_considered, ours.stats.sta_runs,
       100.0 * ours.stats.FilterRate(), util::ResolveNumThreads(threads));
+  // The --metrics snapshot accumulates over every exploration in the
+  // process (the main sweep plus both DVAS baselines); print the same
+  // totals so the two outputs reconcile exactly.
+  const core::ExplorationStats* all[] = {&ours.stats, &dvas_fbb.stats,
+                                         &dvas_nobb.stats};
+  core::ExplorationStats tot;
+  for (const core::ExplorationStats* s : all) {
+    tot.points_considered += s->points_considered;
+    tot.sta_runs += s->sta_runs;
+    tot.filtered += s->filtered;
+    tot.pruned += s->pruned;
+    tot.feasible += s->feasible;
+  }
+  std::printf(
+      "incl. DVAS baselines (= --metrics totals): %ld points, %ld STA "
+      "runs, %ld pruned, %ld filtered, %ld feasible\n",
+      tot.points_considered, tot.sta_runs, tot.pruned, tot.filtered,
+      tot.feasible);
+  obs::Flush();
   return 0;
 }

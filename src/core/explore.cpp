@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <memory>
+#include <string>
 
 #include "core/accuracy.h"
+#include "obs/obs.h"
 #include "sta/sta.h"
 #include "util/thread_pool.h"
 
@@ -105,6 +108,7 @@ ExplorationResult ExploreSerial(const ImplementedDesign& design,
   std::vector<BiasState> bias(nl.num_instances());
 
   for (const int bw : bitwidths) {
+    ADQ_TRACE_SCOPE2("explore.bitwidth", std::to_string(bw));
     const netlist::CaseAnalysis ca(nl, ForcedZeros(design.op, bw));
     const sim::ActivityProfile act =
         sim::ExtractActivity(design.op, ZeroedLsbs(design.op, bw),
@@ -115,19 +119,25 @@ ExplorationResult ExploreSerial(const ImplementedDesign& design,
     mode.bitwidth = bw;
     mode.switched_energy_fj = energy_fj;
 
+    obs::ProgressReporter prog(
+        "explore bw=" + std::to_string(bw),
+        static_cast<std::int64_t>(opt.vdds.size() * masks.size()));
     for (std::size_t vi = 0; vi < opt.vdds.size(); ++vi) {
       const double vdd = opt.vdds[vi];
       const double dyn_w =
           power::PowerModel::DynamicW(energy_fj, vdd, design.fclk_ghz());
       for (std::size_t mi = 0; mi < masks.size(); ++mi) {
+        prog.Tick();
         ++result.stats.points_considered;
         if (opt.monotonic_pruning && dead[vi][mi]) {
           ++result.stats.filtered;  // outcome implied by smaller bw
+          ++result.stats.pruned;
           continue;
         }
         const std::uint32_t mask = masks[mi];
         FillBias(design, mask, bias);
         ++result.stats.sta_runs;
+        obs::TraceSpan point_span("sta.point");
         const sta::TimingReport rep =
             analyzer.Analyze(vdd, design.clock_ns, bias, &ca);
         if (!rep.feasible()) {
@@ -216,22 +226,37 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
 
   // Stage 1: per-mode constants — case analysis, activity simulation
   // and switched energy are independent across bitwidths.
+  // Lane naming for the trace viewer: each pool thread registers its
+  // stable worker index once (worker 0 is the calling thread).
+  auto name_lane = [](int w) {
+    if (!obs::TraceEnabled()) return;
+    thread_local bool named = false;
+    if (!named) {
+      obs::NameThisThreadLane("explore worker " + std::to_string(w));
+      named = true;
+    }
+  };
+
   std::vector<std::unique_ptr<const netlist::CaseAnalysis>> ca(
       bitwidths.size());
   std::vector<double> energy_fj(bitwidths.size(), 0.0);
-  pool.ParallelFor(
-      static_cast<std::int64_t>(bitwidths.size()), 1,
-      [&](std::int64_t i, int) {
-        const int bw = bitwidths[static_cast<std::size_t>(i)];
-        ca[static_cast<std::size_t>(i)] =
-            std::make_unique<const netlist::CaseAnalysis>(
-                nl, ForcedZeros(design.op, bw));
-        const sim::ActivityProfile act = sim::ExtractActivity(
-            design.op, ZeroedLsbs(design.op, bw), opt.activity_cycles,
-            opt.seed, opt.stimulus);
-        energy_fj[static_cast<std::size_t>(i)] =
-            pmodel.SwitchedEnergyPerCycleFj(act);
-      });
+  {
+    ADQ_TRACE_SCOPE("explore.mode_constants");
+    pool.ParallelFor(
+        static_cast<std::int64_t>(bitwidths.size()), 1,
+        [&](std::int64_t i, int w) {
+          name_lane(w);
+          const int bw = bitwidths[static_cast<std::size_t>(i)];
+          ca[static_cast<std::size_t>(i)] =
+              std::make_unique<const netlist::CaseAnalysis>(
+                  nl, ForcedZeros(design.op, bw));
+          const sim::ActivityProfile act = sim::ExtractActivity(
+              design.op, ZeroedLsbs(design.op, bw), opt.activity_cycles,
+              opt.seed, opt.stimulus);
+          energy_fj[static_cast<std::size_t>(i)] =
+              pmodel.SwitchedEnergyPerCycleFj(act);
+        });
+  }
 
   // Monotone-infeasibility table shared across shards, slot = lattice
   // index vi * |masks| + mi. A worker that proves (vdd, mask)
@@ -253,10 +278,15 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
     const int bw = bitwidths[bi];
     const netlist::CaseAnalysis& bca = *ca[bi];
 
+    ADQ_TRACE_SCOPE2("explore.bitwidth", std::to_string(bw));
+    obs::ProgressReporter prog("explore bw=" + std::to_string(bw),
+                               static_cast<std::int64_t>(nv * nm));
     std::fill(rec.begin(), rec.end(), PointRecord{});
     pool.ParallelFor(
         static_cast<std::int64_t>(nv * nm), 1,
         [&](std::int64_t idx, int w) {
+          name_lane(w);
+          prog.Tick();
           const auto slot = static_cast<std::size_t>(idx);
           if (opt.monotonic_pruning &&
               dead[slot].load(std::memory_order_acquire))
@@ -267,6 +297,7 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
           const std::uint32_t mask = masks[mi];
           std::vector<BiasState>& b = bias[static_cast<std::size_t>(w)];
           FillBias(design, mask, b);
+          obs::TraceSpan point_span("sta.point");
           const sta::TimingReport rep =
               worker_analyzer(w).Analyze(vdd, design.clock_ns, b, &bca);
           PointRecord& r = rec[slot];
@@ -296,6 +327,7 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
         ++result.stats.points_considered;
         if (r.kind == PointRecord::Kind::kPruned) {
           ++result.stats.filtered;
+          ++result.stats.pruned;
           continue;
         }
         ++result.stats.sta_runs;
@@ -339,11 +371,39 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
   return result;
 }
 
+/// Folds one finished exploration into the metrics registry. All the
+/// numbers come from the (already deterministic) ExplorationStats, so
+/// the snapshot is bit-identical across thread counts — the contract
+/// tests/test_explore_golden pins.
+void RecordExploreMetrics(const ExplorationResult& r, double seconds) {
+  if (!obs::MetricsEnabled()) return;
+  obs::GetCounter("explore.runs").Add(1);
+  obs::GetCounter("explore.points_considered")
+      .Add(r.stats.points_considered);
+  obs::GetCounter("explore.sta_runs").Add(r.stats.sta_runs);
+  obs::GetCounter("explore.filtered").Add(r.stats.filtered);
+  obs::GetCounter("explore.pruned_hits").Add(r.stats.pruned);
+  obs::GetCounter("explore.feasible").Add(r.stats.feasible);
+  obs::GetGauge("explore.wall_s").Add(seconds);
+  if (seconds > 0.0)
+    obs::GetGauge("explore.points_per_sec")
+        .Set(static_cast<double>(r.stats.points_considered) / seconds);
+  // Margin profile of the chosen operating points: how close the
+  // selected optima sit to the STA-filter edge (cf. the variation
+  // study in bench_ablations).
+  obs::HistogramMetric& wns =
+      obs::GetHistogram("explore.best_wns_ns", -0.1, 0.4, 50);
+  for (const ModeResult& m : r.modes)
+    if (m.has_solution) wns.Observe(m.best.wns_ns);
+}
+
 }  // namespace
 
 ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
                                      const tech::CellLibrary& lib,
                                      const ExploreOptions& opt) {
+  ADQ_TRACE_SCOPE("explore");
+  const auto obs_t0 = std::chrono::steady_clock::now();
   const netlist::Netlist& nl = design.op.nl;
   const int ndom = design.num_domains();
   ADQ_CHECK_MSG(ndom <= 20, "2^" << ndom << " masks is beyond exhaustive");
@@ -365,13 +425,20 @@ ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
       pmodel.LeakWeightByDomain(design.partition.domain_of, ndom);
 
   const int num_threads = util::ResolveNumThreads(opt.num_threads);
+  ExplorationResult result;
   if (num_threads <= 1) {
     sta::TimingAnalyzer analyzer(nl, lib, design.loads);
-    return ExploreSerial(design, opt, bitwidths, masks, pmodel, dom_weight,
-                         analyzer);
+    result = ExploreSerial(design, opt, bitwidths, masks, pmodel,
+                           dom_weight, analyzer);
+  } else {
+    result = ExploreParallel(design, lib, opt, bitwidths, masks, pmodel,
+                             dom_weight, num_threads);
   }
-  return ExploreParallel(design, lib, opt, bitwidths, masks, pmodel,
-                         dom_weight, num_threads);
+  RecordExploreMetrics(
+      result, std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - obs_t0)
+                  .count());
+  return result;
 }
 
 }  // namespace adq::core

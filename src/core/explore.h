@@ -61,6 +61,9 @@ struct ExplorationStats {
   long points_considered = 0;  ///< full O(2^NMAX * B * NVDD) count
   long sta_runs = 0;           ///< STA actually executed
   long filtered = 0;           ///< discarded by the STA filter
+  long pruned = 0;  ///< monotone-pruning hits (subset of filtered):
+                    ///< points whose infeasibility was implied by a
+                    ///< smaller bitwidth, so no STA was spent
   long feasible = 0;
 
   double FilterRate() const {

@@ -1,6 +1,7 @@
 #include "core/flow.h"
 
 #include "core/band_optimizer.h"
+#include "obs/obs.h"
 #include "sta/sta.h"
 
 namespace adq::core {
@@ -8,14 +9,18 @@ namespace adq::core {
 ImplementedDesign RunImplementationFlow(gen::Operator op,
                                         const tech::CellLibrary& lib,
                                         const FlowOptions& fopt) {
+  ADQ_TRACE_SCOPE("flow");
   ImplementedDesign d;
   d.clock_ns = fopt.clock_ns > 0.0 ? fopt.clock_ns : op.spec.target_clock_ns;
   d.op = std::move(op);
   netlist::Netlist& nl = d.op.nl;
 
   // --- Fanout bounding (buffer trees on high-fanout control nets).
-  opt::BufferHighFanout(nl, 8);
-  nl.Validate();
+  {
+    ADQ_OBS_PHASE("flow.buffering");
+    opt::BufferHighFanout(nl, 8);
+    nl.Validate();
+  }
 
   // --- Synthesis-like sizing against a wireload model. The clock is
   // tightened by a margin so that post-layout parasitics (unknown at
@@ -29,24 +34,32 @@ ImplementedDesign RunImplementationFlow(gen::Operator op,
   // flat view's wire-load advantage, so DVAS cannot harvest the
   // recovery leftover as a free voltage reduction.
   sopt.recovery_margin_ns = 0.04 * d.clock_ns;
-  d.sizing = opt::OptimizeSizing(
-      nl, lib,
-      [&lib](const netlist::Netlist& n) {
-        return place::EstimateLoadsByFanout(n, lib);
-      },
-      sopt);
+  {
+    ADQ_OBS_PHASE("flow.sizing");
+    d.sizing = opt::OptimizeSizing(
+        nl, lib,
+        [&lib](const netlist::Netlist& n) {
+          return place::EstimateLoadsByFanout(n, lib);
+        },
+        sopt);
+  }
 
   // --- First placement (no BB domains).
   place::PlacerOptions popt;
   popt.utilization = fopt.utilization;
   popt.seed = fopt.seed;
-  place::Placement first = place::PlaceDesign(nl, lib, popt);
+  place::Placement first;
+  {
+    ADQ_OBS_PHASE("flow.place");
+    first = place::PlaceDesign(nl, lib, popt);
+  }
 
   // --- Post-placement optimization with extracted parasitics: close
   // timing at the real clock, then recover power on slack paths.
   // The recovery step is what produces the wall of slack (Fig. 1)
   // against real wire loads.
   {
+    ADQ_OBS_PHASE("flow.postplace_eco");
     opt::SizingOptions eco = sopt;
     eco.clock_ns = d.clock_ns;
     eco.enable_recovery = true;
@@ -64,32 +77,40 @@ ImplementedDesign RunImplementationFlow(gen::Operator op,
   // grid is the paper's method; criticality bands are the future-work
   // alternative (cut lines fitted to the accuracy-criticality
   // profile measured on the pre-partition layout).
-  if (fopt.strategy == DomainStrategy::kCriticalityBands &&
-      fopt.grid.ny > 1) {
-    const place::NetLoads pre_loads = place::ExtractLoads(nl, lib, first);
-    std::vector<int> probe_bw;
-    for (int b = 2; b <= d.op.spec.data_width; b += 2) probe_bw.push_back(b);
-    const std::vector<double> score =
-        AccuracyCriticality(d.op, lib, pre_loads, d.clock_ns, probe_bw,
-                            /*slack_window_ns=*/0.12 * d.clock_ns,
-                            fopt.num_threads);
-    const std::vector<int> bands =
-        OptimizeBandRows(nl, first, score, fopt.grid.ny);
-    d.partition = place::MakePartitionWithBands(nl, lib, first, fopt.grid.nx,
-                                                bands, fopt.guardband_um);
-  } else {
-    d.partition =
-        place::MakePartition(nl, lib, first, fopt.grid, fopt.guardband_um);
+  {
+    ADQ_OBS_PHASE("flow.partition");
+    if (fopt.strategy == DomainStrategy::kCriticalityBands &&
+        fopt.grid.ny > 1) {
+      const place::NetLoads pre_loads = place::ExtractLoads(nl, lib, first);
+      std::vector<int> probe_bw;
+      for (int b = 2; b <= d.op.spec.data_width; b += 2)
+        probe_bw.push_back(b);
+      const std::vector<double> score =
+          AccuracyCriticality(d.op, lib, pre_loads, d.clock_ns, probe_bw,
+                              /*slack_window_ns=*/0.12 * d.clock_ns,
+                              fopt.num_threads);
+      const std::vector<int> bands =
+          OptimizeBandRows(nl, first, score, fopt.grid.ny);
+      d.partition = place::MakePartitionWithBands(
+          nl, lib, first, fopt.grid.nx, bands, fopt.guardband_um);
+    } else {
+      d.partition =
+          place::MakePartition(nl, lib, first, fopt.grid, fopt.guardband_um);
+    }
   }
-  d.placement = place::ApplyPartition(nl, lib, first, d.partition);
+  {
+    ADQ_OBS_PHASE("flow.legalize");
+    d.placement = place::ApplyPartition(nl, lib, first, d.partition);
+  }
 
   // --- Final extraction + incremental-placement ECO (the paper's
   // incremental step re-optimizes sizing with the guardband-stretched
   // parasitics: fix violations, then recover power again so the final
   // margin sits at the wall — the same end state the flat flow
   // reaches, which keeps the DVAS comparison apples-to-apples).
-  d.loads = place::ExtractLoads(nl, lib, d.placement);
   {
+    ADQ_OBS_PHASE("flow.extract_eco");
+    d.loads = place::ExtractLoads(nl, lib, d.placement);
     opt::SizingOptions eco = sopt;
     eco.clock_ns = d.clock_ns;
     eco.enable_recovery = true;
@@ -107,16 +128,22 @@ ImplementedDesign RunImplementationFlow(gen::Operator op,
   }
 
   // --- Preserve the pre-partition view for the DVAS baselines.
-  d.flat_placement = std::move(first);
-  d.flat_loads = place::ExtractLoads(nl, lib, d.flat_placement);
+  {
+    ADQ_OBS_PHASE("flow.flat_extract");
+    d.flat_placement = std::move(first);
+    d.flat_loads = place::ExtractLoads(nl, lib, d.flat_placement);
+  }
 
   // --- Signoff check at the implementation corner.
-  sta::TimingAnalyzer analyzer(nl, lib, d.loads);
-  const std::vector<tech::BiasState> bias(nl.num_instances(), fopt.corner);
-  const sta::TimingReport rep =
-      analyzer.Analyze(tech::CellLibrary::kVddNominal, d.clock_ns, bias);
-  d.timing_met = rep.feasible();
-  d.sizing.wns_ns = rep.wns_ns;
+  {
+    ADQ_OBS_PHASE("flow.signoff");
+    sta::TimingAnalyzer analyzer(nl, lib, d.loads);
+    const std::vector<tech::BiasState> bias(nl.num_instances(), fopt.corner);
+    const sta::TimingReport rep =
+        analyzer.Analyze(tech::CellLibrary::kVddNominal, d.clock_ns, bias);
+    d.timing_met = rep.feasible();
+    d.sizing.wns_ns = rep.wns_ns;
+  }
   return d;
 }
 

@@ -1,0 +1,116 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#ifndef ADQ_OBS_DISABLED
+#include <chrono>
+#include <mutex>
+#endif
+
+namespace adq::obs {
+
+namespace {
+
+const char* FlagValue(const char* arg, const char* prefix) {
+  const std::size_t n = std::strlen(prefix);
+  return std::strncmp(arg, prefix, n) == 0 ? arg + n : nullptr;
+}
+
+}  // namespace
+
+Options OptionsFromEnv() {
+  Options o;
+  if (const char* t = std::getenv("ADQ_TRACE"); t && *t) o.trace_path = t;
+  if (const char* m = std::getenv("ADQ_METRICS"); m && *m)
+    o.metrics_path = m;
+  if (const char* p = std::getenv("ADQ_PROGRESS"); p && *p && *p != '0')
+    o.enable_progress = true;
+  return o;
+}
+
+bool ParseObsFlag(const char* arg, Options* opt) {
+  if (const char* v = FlagValue(arg, "--trace=")) {
+    opt->trace_path = v;
+    return true;
+  }
+  if (const char* v = FlagValue(arg, "--metrics=")) {
+    opt->metrics_path = v;
+    return true;
+  }
+  if (std::strcmp(arg, "--progress") == 0) {
+    opt->enable_progress = true;
+    return true;
+  }
+  return false;
+}
+
+#ifndef ADQ_OBS_DISABLED
+
+namespace {
+
+std::mutex g_cfg_mu;
+Options g_cfg;  // last Configure()d options (dump paths for Flush)
+
+}  // namespace
+
+void Configure(const Options& opt) {
+  {
+    std::lock_guard<std::mutex> lk(g_cfg_mu);
+    g_cfg = opt;
+  }
+  if (!opt.trace_path.empty())
+    StartTracing();
+  else
+    StopTracing();
+  EnableMetrics(opt.enable_metrics || !opt.metrics_path.empty());
+  EnableProgress(opt.enable_progress);
+}
+
+void Flush() {
+  Options cfg;
+  {
+    std::lock_guard<std::mutex> lk(g_cfg_mu);
+    cfg = g_cfg;
+  }
+  if (!cfg.trace_path.empty()) {
+    if (WriteTrace(cfg.trace_path))
+      std::fprintf(stderr, "[adq] trace written to %s\n",
+                   cfg.trace_path.c_str());
+    else
+      std::fprintf(stderr, "[adq] FAILED to write trace %s\n",
+                   cfg.trace_path.c_str());
+  }
+  if (!cfg.metrics_path.empty()) {
+    if (WriteMetrics(cfg.metrics_path))
+      std::fprintf(stderr, "[adq] metrics written to %s\n",
+                   cfg.metrics_path.c_str());
+    else
+      std::fprintf(stderr, "[adq] FAILED to write metrics %s\n",
+                   cfg.metrics_path.c_str());
+  }
+}
+
+std::int64_t PhaseScope::NowTickNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+PhaseScope::~PhaseScope() {
+  if (t0_ns_ != 0 && MetricsEnabled()) {
+    const double ms =
+        static_cast<double>(NowTickNs() - t0_ns_) * 1e-6;
+    GetGauge(std::string("phase.") + name_ + ".wall_ms").Add(ms);
+  }
+}
+
+#else
+
+void Configure(const Options&) {}
+void Flush() {}
+
+#endif  // ADQ_OBS_DISABLED
+
+}  // namespace adq::obs

@@ -1,0 +1,79 @@
+#pragma once
+/// \file progress.h
+/// \brief Rate-limited stderr progress reporter with phase + ETA.
+///
+/// Long explorations (the full 2^NMAX * B * NVDD lattice) run for
+/// minutes with no output; this sink prints an occasional one-line
+/// status — phase name, done/total, rate, ETA — without ever becoming
+/// the bottleneck: Tick() is a relaxed fetch-add plus a time check,
+/// and only the thread that wins a CAS on the shared "last printed"
+/// stamp formats and writes. Enabled via ADQ_PROGRESS=1 (see obs.h)
+/// or EnableProgress(); off by default and in ADQ_OBS_DISABLED
+/// builds.
+
+#include <cstdint>
+#include <string>
+
+#ifndef ADQ_OBS_DISABLED
+#include <atomic>
+#include <chrono>
+#endif
+
+namespace adq::obs {
+
+#ifndef ADQ_OBS_DISABLED
+
+namespace detail {
+extern std::atomic<bool> g_progress_enabled;
+extern std::atomic<int> g_progress_interval_ms;
+}  // namespace detail
+
+inline bool ProgressEnabled() {
+  return detail::g_progress_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableProgress(bool on);
+
+/// Minimum milliseconds between two printed lines (default 250).
+void SetProgressIntervalMs(int ms);
+
+/// One phase's progress. Construct with the total work-item count,
+/// Tick() from any thread as items complete; a final 100% line is
+/// printed on destruction if anything was printed before. Inert when
+/// progress is disabled at construction.
+class ProgressReporter {
+ public:
+  ProgressReporter(std::string phase, std::int64_t total);
+  ~ProgressReporter();
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  void Tick(std::int64_t n = 1);
+
+ private:
+  void PrintLine(std::int64_t done, bool final_line);
+
+  bool active_ = false;
+  std::string phase_;
+  std::int64_t total_ = 0;
+  std::chrono::steady_clock::time_point t0_;
+  std::atomic<std::int64_t> done_{0};
+  std::atomic<std::int64_t> last_print_us_{0};
+  std::atomic<bool> printed_{false};
+};
+
+#else  // ADQ_OBS_DISABLED
+
+constexpr bool ProgressEnabled() { return false; }
+inline void EnableProgress(bool) {}
+inline void SetProgressIntervalMs(int) {}
+
+class ProgressReporter {
+ public:
+  ProgressReporter(const std::string&, std::int64_t) {}
+  void Tick(std::int64_t = 1) {}
+};
+
+#endif  // ADQ_OBS_DISABLED
+
+}  // namespace adq::obs

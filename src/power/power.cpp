@@ -1,5 +1,7 @@
 #include "power/power.h"
 
+#include "obs/metrics.h"
+
 namespace adq::power {
 
 using netlist::NetId;
@@ -13,6 +15,8 @@ PowerModel::PowerModel(const netlist::Netlist& nl,
 double PowerModel::SwitchedEnergyPerCycleFj(
     const sim::ActivityProfile& act) const {
   ADQ_CHECK(act.toggle_rate.size() == nl_.num_nets());
+  static obs::Counter& scans = obs::GetCounter("power.energy_scans");
+  scans.Add();
   double energy = 0.0;
   // Net (wire + pin) capacitance switching: E = rate * C * 1V^2 [fJ].
   for (std::uint32_t n = 0; n < nl_.num_nets(); ++n)
@@ -32,6 +36,8 @@ double PowerModel::LeakageW(
     double vdd, const std::vector<BiasState>& bias_of_inst) const {
   ADQ_CHECK(bias_of_inst.empty() ||
             bias_of_inst.size() == nl_.num_instances());
+  static obs::Counter& scans = obs::GetCounter("power.leakage_scans");
+  scans.Add();
   double leak = 0.0;
   for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
     const netlist::Instance& inst = nl_.instances()[i];

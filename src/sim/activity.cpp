@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "sim/stimulus.h"
 
 namespace adq::sim {
@@ -9,6 +10,12 @@ namespace adq::sim {
 ActivityProfile ExtractActivity(const gen::Operator& op, int zeroed_lsbs,
                                 int cycles, std::uint64_t seed,
                                 StimulusKind kind) {
+  ADQ_TRACE_SCOPE2("sim.extract_activity",
+                   op.spec.name + " lsb0=" + std::to_string(zeroed_lsbs));
+  static obs::Counter& extractions =
+      obs::GetCounter("sim.activity_extractions");
+  extractions.Add();
+  obs::GetCounter("sim.activity_cycles").Add(cycles);
   ADQ_CHECK(cycles > 0);
   ADQ_CHECK(zeroed_lsbs >= 0 && zeroed_lsbs <= op.spec.data_width);
   util::Rng rng(seed);

@@ -1,5 +1,7 @@
 #include "sim/logic_sim.h"
 
+#include "obs/metrics.h"
+
 namespace adq::sim {
 
 using netlist::InstId;
@@ -42,6 +44,8 @@ void LogicSim::Settle() {
 }
 
 void LogicSim::Tick() {
+  static obs::Counter& ticks = obs::GetCounter("sim.ticks");
+  ticks.Add();
   // Make register D pins reflect the inputs set for this cycle.
   Settle();
   // Clock edge: Q <= D for every register, then settle the new cycle.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace adq::sta {
 
 using netlist::InstId;
@@ -49,6 +51,8 @@ TimingReport TimingAnalyzer::Analyze(
     const netlist::CaseAnalysis* ca, bool collect_endpoints) {
   ADQ_CHECK(bias_of_inst.empty() ||
             bias_of_inst.size() == nl_.num_instances());
+  static obs::Counter& analyze_calls = obs::GetCounter("sta.analyze_calls");
+  analyze_calls.Add();
   // Per-bias-state alpha-power multipliers — all VDD/Vth dependence.
   const double scale[tech::kNumBiasStates] = {
       lib_.DelayScale(vdd, BiasState::kNoBB),
@@ -132,6 +136,9 @@ TimingReport TimingAnalyzer::AnalyzeWithScales(
     const std::vector<double>& scale_of_inst, double clock_ns,
     const netlist::CaseAnalysis* ca) {
   ADQ_CHECK(scale_of_inst.size() == nl_.num_instances());
+  static obs::Counter& scaled_calls =
+      obs::GetCounter("sta.analyze_scaled_calls");
+  scaled_calls.Add();
   auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
 
   std::fill(arrival_.begin(), arrival_.end(), kNegInf);

@@ -12,24 +12,37 @@
 #include <gtest/gtest.h>
 
 #include "core/explore.h"
+#include "obs/obs.h"
 
 namespace adq::core {
 namespace {
 
-const ExplorationResult& Result() {
-  static const ExplorationResult r = [] {
-    const tech::CellLibrary lib;
+const tech::CellLibrary& Lib() {
+  static const tech::CellLibrary lib;
+  return lib;
+}
+
+const ImplementedDesign& Design() {
+  static const ImplementedDesign design = [] {
     FlowOptions fopt;
     fopt.grid = {2, 2};
     fopt.clock_ns = 0.55;
-    const ImplementedDesign design =
-        RunImplementationFlow(gen::BuildBoothOperator(8), lib, fopt);
-    ExploreOptions opt;
-    opt.bitwidths = {2, 4, 6, 8};
-    opt.activity_cycles = 128;
-    opt.num_threads = 1;  // the serial reference path
-    return ExploreDesignSpace(design, lib, opt);
+    return RunImplementationFlow(gen::BuildBoothOperator(8), Lib(), fopt);
   }();
+  return design;
+}
+
+ExploreOptions GoldenOptions(int num_threads) {
+  ExploreOptions opt;
+  opt.bitwidths = {2, 4, 6, 8};
+  opt.activity_cycles = 128;
+  opt.num_threads = num_threads;
+  return opt;
+}
+
+const ExplorationResult& Result() {
+  static const ExplorationResult r =
+      ExploreDesignSpace(Design(), Lib(), GoldenOptions(1));
   return r;
 }
 
@@ -47,6 +60,11 @@ struct GoldenMode {
 constexpr long kPointsConsidered = 320;
 constexpr long kStaRuns = 102;
 constexpr long kFiltered = 297;
+// Monotone-pruning hits: points whose infeasibility was implied by a
+// smaller bitwidth, skipped without an STA run. Consistency:
+// kPointsConsidered = kStaRuns + kPruned, and kFiltered = kPruned +
+// (kStaRuns - kFeasible).
+constexpr long kPruned = 218;
 constexpr long kFeasible = 23;
 constexpr double kFilterRate = 0.92812499999999998;
 constexpr GoldenMode kModes[] = {
@@ -59,13 +77,17 @@ constexpr GoldenMode kModes[] = {
 TEST(ExploreGolden, StatsExactlyPinned) {
   const ExplorationResult& r = Result();
   std::printf("golden actual: points=%ld sta=%ld filtered=%ld "
-              "feasible=%ld rate=%.17g\n",
+              "pruned=%ld feasible=%ld rate=%.17g\n",
               r.stats.points_considered, r.stats.sta_runs,
-              r.stats.filtered, r.stats.feasible, r.stats.FilterRate());
+              r.stats.filtered, r.stats.pruned, r.stats.feasible,
+              r.stats.FilterRate());
   EXPECT_EQ(r.stats.points_considered, kPointsConsidered);
   EXPECT_EQ(r.stats.sta_runs, kStaRuns);
   EXPECT_EQ(r.stats.filtered, kFiltered);
+  EXPECT_EQ(r.stats.pruned, kPruned);
   EXPECT_EQ(r.stats.feasible, kFeasible);
+  // Every lattice point either got an STA run or was pruned away.
+  EXPECT_EQ(r.stats.sta_runs + r.stats.pruned, r.stats.points_considered);
   EXPECT_NEAR(r.stats.FilterRate(), kFilterRate, 1e-12);
   // The paper's headline: the STA filter discards a large majority
   // (~75%) of the exhaustive lattice.
@@ -90,6 +112,42 @@ TEST(ExploreGolden, PerModeOptimaPinned) {
     EXPECT_NEAR(m.best.total_power_w(), kModes[i].total_power_w,
                 1e-9 * kModes[i].total_power_w + 1e-18);
   }
+}
+
+// The observability layer must report exactly what ExplorationStats
+// reports: the metrics snapshot is folded from the final stats in the
+// deterministic merge, so the counters are identical at any thread
+// count. Pinned at 1 (serial reference) and 8 (sharded path).
+TEST(ExploreGolden, MetricsSnapshotMirrorsStats) {
+#ifdef ADQ_OBS_DISABLED
+  GTEST_SKIP() << "observability compiled out (ADQ_OBS=OFF)";
+#else
+  for (const int nt : {1, 8}) {
+    obs::EnableMetrics(true);
+    obs::ResetMetrics();
+    const ExplorationResult r =
+        ExploreDesignSpace(Design(), Lib(), GoldenOptions(nt));
+    const obs::MetricsSnapshot snap = obs::SnapshotMetrics();
+    obs::EnableMetrics(false);
+
+    SCOPED_TRACE("num_threads=" + std::to_string(nt));
+    ASSERT_TRUE(snap.counters.count("explore.sta_runs"));
+    EXPECT_EQ(snap.counters.at("explore.sta_runs"), r.stats.sta_runs);
+    EXPECT_EQ(snap.counters.at("explore.pruned_hits"), r.stats.pruned);
+    EXPECT_EQ(snap.counters.at("explore.filtered"), r.stats.filtered);
+    EXPECT_EQ(snap.counters.at("explore.feasible"), r.stats.feasible);
+    EXPECT_EQ(snap.counters.at("explore.points_considered"),
+              r.stats.points_considered);
+    EXPECT_EQ(snap.counters.at("explore.runs"), 1);
+    // And the run itself still matches the golden pin.
+    EXPECT_EQ(r.stats.sta_runs, kStaRuns);
+    EXPECT_EQ(r.stats.pruned, kPruned);
+    // The live sta.* counters bound the explorer's accounting from
+    // below: every explore-issued STA invocation hit the engine.
+    ASSERT_TRUE(snap.counters.count("sta.analyze_calls"));
+    EXPECT_GE(snap.counters.at("sta.analyze_calls"), r.stats.sta_runs);
+  }
+#endif
 }
 
 }  // namespace
