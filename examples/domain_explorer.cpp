@@ -112,10 +112,11 @@ int main(int argc, char** argv) {
   }
   std::fputs(t.Render().c_str(), stdout);
   std::printf(
-      "\nexploration: %ld points considered, %ld STA runs, %.0f%% "
-      "filtered (%d worker threads)\n",
+      "\nexploration: %ld points considered, %ld STA runs (%ld "
+      "mask-dominance pruned), %.0f%% filtered (%d worker threads)\n",
       ours.stats.points_considered, ours.stats.sta_runs,
-      100.0 * ours.stats.FilterRate(), util::ResolveNumThreads(threads));
+      ours.stats.mask_pruned, 100.0 * ours.stats.FilterRate(),
+      util::ResolveNumThreads(threads));
   // The --metrics snapshot accumulates over every exploration in the
   // process (the main sweep plus both DVAS baselines); print the same
   // totals so the two outputs reconcile exactly.
@@ -127,13 +128,14 @@ int main(int argc, char** argv) {
     tot.sta_runs += s->sta_runs;
     tot.filtered += s->filtered;
     tot.pruned += s->pruned;
+    tot.mask_pruned += s->mask_pruned;
     tot.feasible += s->feasible;
   }
   std::printf(
       "incl. DVAS baselines (= --metrics totals): %ld points, %ld STA "
-      "runs, %ld pruned, %ld filtered, %ld feasible\n",
-      tot.points_considered, tot.sta_runs, tot.pruned, tot.filtered,
-      tot.feasible);
+      "runs, %ld pruned, %ld mask-pruned, %ld filtered, %ld feasible\n",
+      tot.points_considered, tot.sta_runs, tot.pruned, tot.mask_pruned,
+      tot.filtered, tot.feasible);
   obs::Flush();
   return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <memory>
 #include <string>
@@ -33,13 +34,6 @@ std::vector<BiasState> BiasVectorFor(const ImplementedDesign& design,
 }
 
 namespace {
-
-void FillBias(const ImplementedDesign& design, std::uint32_t mask,
-              std::vector<BiasState>& bias) {
-  const std::vector<int>& dom = design.partition.domain_of;
-  for (std::size_t i = 0; i < dom.size(); ++i)
-    bias[i] = ((mask >> dom[i]) & 1u) ? BiasState::kFBB : BiasState::kNoBB;
-}
 
 double MaskLeakageW(const power::PowerModel& pmodel,
                     const std::vector<double>& dom_weight, int ndom,
@@ -86,137 +80,61 @@ void RbbSleepPass(const ImplementedDesign& design,
   best.power.leakage_w = leak_w;
 }
 
-/// The legacy single-threaded sweep, kept verbatim as the reference
-/// semantics (ExploreOptions::num_threads == 1 selects it exactly).
-ExplorationResult ExploreSerial(const ImplementedDesign& design,
-                                const ExploreOptions& opt,
-                                const std::vector<int>& bitwidths,
-                                const std::vector<std::uint32_t>& masks,
-                                const power::PowerModel& pmodel,
-                                const std::vector<double>& dom_weight,
-                                sta::TimingAnalyzer& analyzer) {
-  const netlist::Netlist& nl = design.op.nl;
-  const int ndom = design.num_domains();
-
-  // Monotonic pruning state: once (vdd, mask) fails at some bitwidth,
-  // it fails for every larger one (more active paths). Indexed
-  // [vdd][mask position].
-  std::vector<std::vector<bool>> dead(
-      opt.vdds.size(), std::vector<bool>(masks.size(), false));
-
-  ExplorationResult result;
-  std::vector<BiasState> bias(nl.num_instances());
-
-  for (const int bw : bitwidths) {
-    ADQ_TRACE_SCOPE2("explore.bitwidth", std::to_string(bw));
-    const netlist::CaseAnalysis ca(nl, ForcedZeros(design.op, bw));
-    const sim::ActivityProfile act =
-        sim::ExtractActivity(design.op, ZeroedLsbs(design.op, bw),
-                             opt.activity_cycles, opt.seed, opt.stimulus);
-    const double energy_fj = pmodel.SwitchedEnergyPerCycleFj(act);
-
-    ModeResult mode;
-    mode.bitwidth = bw;
-    mode.switched_energy_fj = energy_fj;
-
-    obs::ProgressReporter prog(
-        "explore bw=" + std::to_string(bw),
-        static_cast<std::int64_t>(opt.vdds.size() * masks.size()));
-    for (std::size_t vi = 0; vi < opt.vdds.size(); ++vi) {
-      const double vdd = opt.vdds[vi];
-      const double dyn_w =
-          power::PowerModel::DynamicW(energy_fj, vdd, design.fclk_ghz());
-      for (std::size_t mi = 0; mi < masks.size(); ++mi) {
-        prog.Tick();
-        ++result.stats.points_considered;
-        if (opt.monotonic_pruning && dead[vi][mi]) {
-          ++result.stats.filtered;  // outcome implied by smaller bw
-          ++result.stats.pruned;
-          continue;
-        }
-        const std::uint32_t mask = masks[mi];
-        FillBias(design, mask, bias);
-        ++result.stats.sta_runs;
-        obs::TraceSpan point_span("sta.point");
-        const sta::TimingReport rep =
-            analyzer.Analyze(vdd, design.clock_ns, bias, &ca);
-        if (!rep.feasible()) {
-          ++result.stats.filtered;
-          dead[vi][mi] = true;
-          if (opt.keep_all_points) {
-            ExploredPoint p;
-            p.bitwidth = bw;
-            p.vdd = vdd;
-            p.mask = mask;
-            p.feasible = false;
-            p.wns_ns = rep.wns_ns;
-            result.all_points.push_back(p);
-          }
-          continue;
-        }
-        ++result.stats.feasible;
-        ExploredPoint p;
-        p.bitwidth = bw;
-        p.vdd = vdd;
-        p.mask = mask;
-        p.feasible = true;
-        p.wns_ns = rep.wns_ns;
-        p.power.dynamic_w = dyn_w;
-        p.power.leakage_w =
-            MaskLeakageW(pmodel, dom_weight, ndom, vdd, mask);
-        if (!mode.has_solution ||
-            p.total_power_w() < mode.best.total_power_w()) {
-          mode.has_solution = true;
-          mode.best = p;
-        }
-        if (opt.keep_all_points) result.all_points.push_back(p);
-      }
-    }
-
-    if (opt.enable_rbb_sleep && mode.has_solution)
-      RbbSleepPass(design, pmodel, dom_weight, analyzer, ca, bias, mode,
-                   result.stats);
-
-    result.modes.push_back(mode);
-  }
-  return result;
-}
-
 /// Outcome of one (bitwidth, vdd, mask) lattice point as recorded by
 /// a worker. The sweep writes these into index-addressed slots; the
 /// deterministic merge then folds them serially in lattice order, so
 /// stats, best-point ties and all_points ordering cannot depend on
-/// thread scheduling.
+/// thread scheduling (or batch width).
 struct PointRecord {
-  enum class Kind : std::uint8_t { kPruned, kInfeasible, kFeasible };
+  enum class Kind : std::uint8_t {
+    kPruned,      ///< implied infeasible by a smaller bitwidth
+    kMaskPruned,  ///< implied infeasible by a failing supermask
+    kInfeasible,  ///< STA ran, violated
+    kFeasible,    ///< STA ran, met
+  };
   Kind kind = Kind::kPruned;
   double wns_ns = 0.0;
   double leak_w = 0.0;
 };
 
-ExplorationResult ExploreParallel(const ImplementedDesign& design,
-                                  const tech::CellLibrary& lib,
-                                  const ExploreOptions& opt,
-                                  const std::vector<int>& bitwidths,
-                                  const std::vector<std::uint32_t>& masks,
-                                  const power::PowerModel& pmodel,
-                                  const std::vector<double>& dom_weight,
-                                  int num_threads) {
+/// A ≤batch_width run of same-VDD lattice points handed to one
+/// AnalyzeBatch call. Lane l is lattice point (vi, lane_mi[begin+l]).
+struct BatchChunk {
+  std::size_t vi = 0;
+  std::size_t begin = 0;  ///< offset into the level's lane arrays
+  std::size_t count = 0;
+};
+
+/// The one exploration sweep. A 1-thread pool runs every ParallelFor
+/// inline on the caller, so there is no separate serial code path to
+/// keep in sync — bit-identity across num_threads holds by
+/// construction of the merge, not by duplicated logic.
+ExplorationResult ExploreSweep(const ImplementedDesign& design,
+                               const tech::CellLibrary& lib,
+                               const ExploreOptions& opt,
+                               const std::vector<int>& bitwidths,
+                               const std::vector<std::uint32_t>& masks,
+                               const power::PowerModel& pmodel,
+                               const std::vector<double>& dom_weight,
+                               int num_threads) {
   const netlist::Netlist& nl = design.op.nl;
   const int ndom = design.num_domains();
+  const std::vector<int>& domain_of = design.domain_of();
+  const std::size_t batch_width = static_cast<std::size_t>(
+      opt.batch_width > 0 ? opt.batch_width : 8);
+  // Recorded infeasible points need their computed wns_ns, so the
+  // dominance prune (which never computes one) must stand down.
+  const bool mask_prune = opt.mask_pruning && !opt.keep_all_points;
 
   util::ThreadPool pool(num_threads);
   const int nworkers = pool.num_threads();
 
-  // Per-worker STA contexts: Analyze() reuses per-net scratch, so
+  // Per-worker STA contexts: the analyzer reuses per-net scratch, so
   // each worker owns an analyzer over the shared read-only netlist.
   // Created lazily by the first point a worker claims (also spreading
   // the construction cost across the pool).
   std::vector<std::unique_ptr<sta::TimingAnalyzer>> analyzer(
       static_cast<std::size_t>(nworkers));
-  std::vector<std::vector<BiasState>> bias(
-      static_cast<std::size_t>(nworkers),
-      std::vector<BiasState>(nl.num_instances()));
   auto worker_analyzer = [&](int w) -> sta::TimingAnalyzer& {
     auto& a = analyzer[static_cast<std::size_t>(w)];
     if (!a)
@@ -224,8 +142,6 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
     return *a;
   };
 
-  // Stage 1: per-mode constants — case analysis, activity simulation
-  // and switched energy are independent across bitwidths.
   // Lane naming for the trace viewer: each pool thread registers its
   // stable worker index once (worker 0 is the calling thread).
   auto name_lane = [](int w) {
@@ -237,6 +153,8 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
     }
   };
 
+  // Stage 1: per-mode constants — case analysis, activity simulation
+  // and switched energy are independent across bitwidths.
   std::vector<std::unique_ptr<const netlist::CaseAnalysis>> ca(
       bitwidths.size());
   std::vector<double> energy_fj(bitwidths.size(), 0.0);
@@ -265,15 +183,47 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
   // (Each slot is written at most once per bitwidth and only read by
   // later bitwidths, which a pool barrier separates — the ordering
   // makes the publication self-contained rather than barrier-reliant.)
+  // Mask-dominance hits publish the same way: they are proofs of
+  // infeasibility, so later bitwidths prune them exactly as if the
+  // STA had run — which is why every stat except the sta_runs /
+  // mask_pruned split is independent of the mask_pruning switch.
   const std::size_t nv = opt.vdds.size();
   const std::size_t nm = masks.size();
   std::vector<std::atomic<std::uint8_t>> dead(nv * nm);
   for (auto& d : dead) d.store(0, std::memory_order_relaxed);
 
+  // Mask-dominance schedule: masks grouped by popcount, processed in
+  // descending-popcount levels. Any strict supermask has a strictly
+  // larger popcount, i.e. lives in an earlier level, so by the time a
+  // level is classified every potential dominator has a settled
+  // verdict (ParallelFor is a barrier). Equal popcount never
+  // dominates (M ⊆ F with |M| == |F| forces M == F), so decisions are
+  // independent of batch width, thread count and within-level order.
+  std::vector<std::vector<std::size_t>> levels;
+  {
+    int max_pop = 0;
+    for (const std::uint32_t m : masks)
+      max_pop = std::max(max_pop, std::popcount(m));
+    levels.resize(static_cast<std::size_t>(max_pop) + 1);
+    for (std::size_t mi = 0; mi < nm; ++mi)
+      levels[static_cast<std::size_t>(max_pop) -
+             static_cast<std::size_t>(std::popcount(masks[mi]))]
+          .push_back(mi);
+  }
+
   // Stage 2: per bitwidth (ascending, so pruning sees every smaller
-  // mode), shard the (VDD, mask) lattice, then merge serially.
+  // mode), shard the (VDD, mask) lattice in batched chunks, then
+  // merge serially.
   ExplorationResult result;
   std::vector<PointRecord> rec(nv * nm);
+  // Per-VDD antichain of infeasible masks from completed levels: a
+  // mask M is dominated iff M ⊆ F for some listed F. (Antichain
+  // because a listed mask's supersets were either feasible or already
+  // listed before any submask could reach STA.)
+  std::vector<std::vector<std::uint32_t>> row_infeasible(nv);
+  std::vector<std::size_t> lane_mi;          // level's pending points
+  std::vector<std::uint32_t> lane_masks;     // aligned with lane_mi
+  std::vector<BatchChunk> chunks;
   for (std::size_t bi = 0; bi < bitwidths.size(); ++bi) {
     const int bw = bitwidths[bi];
     const netlist::CaseAnalysis& bca = *ca[bi];
@@ -282,39 +232,96 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
     obs::ProgressReporter prog("explore bw=" + std::to_string(bw),
                                static_cast<std::int64_t>(nv * nm));
     std::fill(rec.begin(), rec.end(), PointRecord{});
-    pool.ParallelFor(
-        static_cast<std::int64_t>(nv * nm), 1,
-        [&](std::int64_t idx, int w) {
-          name_lane(w);
-          prog.Tick();
-          const auto slot = static_cast<std::size_t>(idx);
-          if (opt.monotonic_pruning &&
-              dead[slot].load(std::memory_order_acquire))
-            return;  // record stays kPruned
-          const std::size_t vi = slot / nm;
-          const std::size_t mi = slot % nm;
-          const double vdd = opt.vdds[vi];
-          const std::uint32_t mask = masks[mi];
-          std::vector<BiasState>& b = bias[static_cast<std::size_t>(w)];
-          FillBias(design, mask, b);
-          obs::TraceSpan point_span("sta.point");
-          const sta::TimingReport rep =
-              worker_analyzer(w).Analyze(vdd, design.clock_ns, b, &bca);
-          PointRecord& r = rec[slot];
-          r.wns_ns = rep.wns_ns;
-          if (!rep.feasible()) {
-            r.kind = PointRecord::Kind::kInfeasible;
-            dead[slot].store(1, std::memory_order_release);
-            return;
-          }
-          r.kind = PointRecord::Kind::kFeasible;
-          r.leak_w = MaskLeakageW(pmodel, dom_weight, ndom, vdd, mask);
-        });
+    for (auto& row : row_infeasible) row.clear();
 
-    // Deterministic merge: fold the records in the serial sweep's
-    // (vi, mi) order. Every number below is either copied from a
-    // record or recomputed from the same expressions the serial path
-    // uses, so the result is bit-identical to num_threads == 1.
+    for (const std::vector<std::size_t>& level : levels) {
+      // Phase A (serial): classify the level. Points condemned by a
+      // smaller bitwidth keep kPruned; points dominated by an earlier
+      // level's infeasible supermask become kMaskPruned; the rest
+      // queue for batched STA, grouped by VDD row.
+      lane_mi.clear();
+      lane_masks.clear();
+      chunks.clear();
+      for (std::size_t vi = 0; vi < nv; ++vi) {
+        const std::size_t row_begin = lane_mi.size();
+        for (const std::size_t mi : level) {
+          const std::size_t slot = vi * nm + mi;
+          if (opt.monotonic_pruning &&
+              dead[slot].load(std::memory_order_acquire)) {
+            prog.Tick();
+            continue;  // record stays kPruned
+          }
+          if (mask_prune) {
+            const std::uint32_t mask = masks[mi];
+            bool dominated = false;
+            for (const std::uint32_t f : row_infeasible[vi])
+              if ((mask & ~f) == 0u) {
+                dominated = true;
+                break;
+              }
+            if (dominated) {
+              rec[slot].kind = PointRecord::Kind::kMaskPruned;
+              dead[slot].store(1, std::memory_order_release);
+              prog.Tick();
+              continue;
+            }
+          }
+          lane_mi.push_back(mi);
+          lane_masks.push_back(masks[mi]);
+        }
+        for (std::size_t c = row_begin; c < lane_mi.size();
+             c += batch_width)
+          chunks.push_back(
+              {vi, c, std::min(batch_width, lane_mi.size() - c)});
+      }
+
+      // Phase B (parallel): one AnalyzeBatch per chunk; lanes write
+      // their own slots. The ParallelFor barrier makes every verdict
+      // of this level visible before the next level classifies.
+      pool.ParallelFor(
+          static_cast<std::int64_t>(chunks.size()), 1,
+          [&](std::int64_t idx, int w) {
+            name_lane(w);
+            const BatchChunk& c = chunks[static_cast<std::size_t>(idx)];
+            const double vdd = opt.vdds[c.vi];
+            obs::TraceSpan batch_span("sta.batch");
+            const std::vector<sta::TimingReport> reps =
+                worker_analyzer(w).AnalyzeBatch(
+                    vdd, design.clock_ns,
+                    std::span<const std::uint32_t>(
+                        lane_masks.data() + c.begin, c.count),
+                    domain_of, &bca);
+            for (std::size_t l = 0; l < c.count; ++l) {
+              const std::size_t mi = lane_mi[c.begin + l];
+              const std::size_t slot = c.vi * nm + mi;
+              PointRecord& r = rec[slot];
+              r.wns_ns = reps[l].wns_ns;
+              if (!reps[l].feasible()) {
+                r.kind = PointRecord::Kind::kInfeasible;
+                dead[slot].store(1, std::memory_order_release);
+              } else {
+                r.kind = PointRecord::Kind::kFeasible;
+                r.leak_w = MaskLeakageW(pmodel, dom_weight, ndom, vdd,
+                                        masks[mi]);
+              }
+              prog.Tick();
+            }
+          });
+
+      // Phase C (serial): extend the per-VDD antichains with this
+      // level's fresh failures, in deterministic (vi, mi) order.
+      if (mask_prune)
+        for (std::size_t vi = 0; vi < nv; ++vi)
+          for (const std::size_t mi : level)
+            if (rec[vi * nm + mi].kind == PointRecord::Kind::kInfeasible)
+              row_infeasible[vi].push_back(masks[mi]);
+    }
+
+    // Deterministic merge: fold the records in (vi, mi) lattice
+    // order, regardless of the popcount-level order they were
+    // computed in. Every number below is either copied from a record
+    // or recomputed from the same expressions for every thread count
+    // and batch width, so the result is bit-identical across both.
     ModeResult mode;
     mode.bitwidth = bw;
     mode.switched_energy_fj = energy_fj[bi];
@@ -328,6 +335,11 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
         if (r.kind == PointRecord::Kind::kPruned) {
           ++result.stats.filtered;
           ++result.stats.pruned;
+          continue;
+        }
+        if (r.kind == PointRecord::Kind::kMaskPruned) {
+          ++result.stats.filtered;
+          ++result.stats.mask_pruned;
           continue;
         }
         ++result.stats.sta_runs;
@@ -362,9 +374,11 @@ ExplorationResult ExploreParallel(const ImplementedDesign& design,
       }
     }
 
-    if (opt.enable_rbb_sleep && mode.has_solution)
+    if (opt.enable_rbb_sleep && mode.has_solution) {
+      std::vector<BiasState> bias(nl.num_instances());
       RbbSleepPass(design, pmodel, dom_weight, worker_analyzer(0), bca,
-                   bias[0], mode, result.stats);
+                   bias, mode, result.stats);
+    }
 
     result.modes.push_back(mode);
   }
@@ -383,6 +397,7 @@ void RecordExploreMetrics(const ExplorationResult& r, double seconds) {
   obs::GetCounter("explore.sta_runs").Add(r.stats.sta_runs);
   obs::GetCounter("explore.filtered").Add(r.stats.filtered);
   obs::GetCounter("explore.pruned_hits").Add(r.stats.pruned);
+  obs::GetCounter("explore.mask_pruned").Add(r.stats.mask_pruned);
   obs::GetCounter("explore.feasible").Add(r.stats.feasible);
   obs::GetGauge("explore.wall_s").Add(seconds);
   if (seconds > 0.0)
@@ -425,15 +440,8 @@ ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
       pmodel.LeakWeightByDomain(design.partition.domain_of, ndom);
 
   const int num_threads = util::ResolveNumThreads(opt.num_threads);
-  ExplorationResult result;
-  if (num_threads <= 1) {
-    sta::TimingAnalyzer analyzer(nl, lib, design.loads);
-    result = ExploreSerial(design, opt, bitwidths, masks, pmodel,
-                           dom_weight, analyzer);
-  } else {
-    result = ExploreParallel(design, lib, opt, bitwidths, masks, pmodel,
-                             dom_weight, num_threads);
-  }
+  ExplorationResult result = ExploreSweep(
+      design, lib, opt, bitwidths, masks, pmodel, dom_weight, num_threads);
   RecordExploreMetrics(
       result, std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - obs_t0)

@@ -11,12 +11,17 @@
 /// The minimum-power configuration per bitwidth is the output: the
 /// table a runtime controller uses to switch accuracy modes.
 ///
-/// Complexity is O(2^NMAX * B * NVDD) points, as in the paper; two
+/// Complexity is O(2^NMAX * B * NVDD) points, as in the paper; three
 /// exact accelerations are applied: per-condition delay scaling is
-/// two global multipliers (see sta.h), and infeasibility is monotone
+/// two global multipliers (see sta.h); infeasibility is monotone
 /// in bitwidth (activating more input bits only adds timing paths),
 /// so a (VDD, mask) pair that fails at bitwidth b is skipped — and
-/// counted as filtered — for larger bitwidths.
+/// counted as filtered — for larger bitwidths; and infeasibility is
+/// antitone in the FBB mask lattice (forward bias only lowers delay),
+/// so a mask that fails at (VDD, b) proves every submask infeasible
+/// at the same point without running STA (mask-dominance pruning).
+/// Surviving masks are evaluated in batches of ExploreOptions::
+/// batch_width lanes per topological traversal (sta::AnalyzeBatch).
 
 #include <cstdint>
 #include <vector>
@@ -64,6 +69,13 @@ struct ExplorationStats {
   long pruned = 0;  ///< monotone-pruning hits (subset of filtered):
                     ///< points whose infeasibility was implied by a
                     ///< smaller bitwidth, so no STA was spent
+  long mask_pruned = 0;  ///< mask-dominance hits (subset of filtered):
+                         ///< points whose infeasibility was implied by
+                         ///< a failing supermask at the same (VDD,
+                         ///< bitwidth), so no STA was spent. Always an
+                         ///< exact trade against sta_runs:
+                         ///< points_considered ==
+                         ///<     sta_runs + pruned + mask_pruned.
   long feasible = 0;
 
   double FilterRate() const {
@@ -93,7 +105,22 @@ struct ExploreOptions {
   std::uint64_t seed = 7;
   sim::StimulusKind stimulus = sim::StimulusKind::kCorrelated;
   bool monotonic_pruning = true;
+  /// Mask-dominance pruning: FBB only lowers delay, so WNS is
+  /// monotone non-increasing in the mask lattice and an infeasible
+  /// mask condemns all its submasks at the same (VDD, bitwidth). The
+  /// prune is exact (never changes modes or stats other than trading
+  /// sta_runs for mask_pruned) and deterministic at any num_threads /
+  /// batch_width: masks are swept in descending-popcount levels, and
+  /// dominance is only checked against infeasibles from completed
+  /// levels. Automatically inactive when keep_all_points is set,
+  /// because recorded infeasible points need their computed wns_ns.
+  bool mask_pruning = true;
   bool keep_all_points = false;
+  /// Lanes per batched STA call (sta::TimingAnalyzer::AnalyzeBatch):
+  /// one topological traversal serves this many masks. 0 or negative
+  /// selects the default (8). Any value yields bit-identical results;
+  /// only throughput changes.
+  int batch_width = 8;
   /// RBB sleep post-pass (extension beyond the paper's 2-state
   /// exploration): after the best (VDD, FBB mask) is found for a
   /// mode, domains still at NoBB are greedily demoted to reverse
@@ -101,8 +128,8 @@ struct ExploreOptions {
   /// leakage cut for logic that the accuracy mode disabled.
   bool enable_rbb_sleep = false;
   /// Worker threads sharding the (VDD, mask) lattice and the per-mode
-  /// activity extraction: 0 = one per hardware thread, 1 = the exact
-  /// legacy single-threaded code path, n > 1 = n workers. Every
+  /// activity extraction: 0 = one per hardware thread, 1 = run the
+  /// whole sweep inline on the caller, n > 1 = n workers. Every
   /// setting yields a bit-identical ExplorationResult — modes, stats
   /// and all_points ordering included — because each lattice point is
   /// a pure function of (bitwidth, VDD, mask) and the per-point
@@ -110,7 +137,9 @@ struct ExploreOptions {
   /// merge). The monotone-infeasibility filter prunes identically
   /// too: the shared failure table is only consulted for bitwidths
   /// above the one that set it, and bitwidths are separated by a
-  /// pool barrier. Contract enforced by tests/test_parallel_explore.
+  /// pool barrier; mask-dominance decisions similarly only consult
+  /// popcount levels separated by a barrier. Contract enforced by
+  /// tests/test_parallel_explore.
   int num_threads = 0;
 };
 

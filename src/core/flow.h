@@ -67,6 +67,12 @@ struct ImplementedDesign {
 
   double fclk_ghz() const { return 1.0 / clock_ns; }
   int num_domains() const { return partition.num_domains(); }
+
+  /// Per-instance bias-domain ids (index = instance id) — the layout
+  /// sta::TimingAnalyzer::AnalyzeBatch and the exploration engine
+  /// consume directly, instead of expanding a per-instance bias
+  /// vector per mask (see core::BiasVectorFor).
+  const std::vector<int>& domain_of() const { return partition.domain_of; }
 };
 
 /// Runs the full flow on (a copy of) the operator.

@@ -32,15 +32,85 @@ void TimingAnalyzer::SetLoads(const place::NetLoads& loads) {
   ADQ_CHECK(loads.cap_ff.size() == nl_.num_nets());
   base_delay_.assign(nl_.num_instances() * 2, 0.0);
   wire_delay_.assign(nl_.num_instances() * 2, 0.0);
+  setup_ns_.assign(nl_.num_instances(), 0.0);
   for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
     const netlist::Instance& inst = nl_.instances()[i];
     const tech::CellVariant& v = lib_.Variant(inst.kind, inst.drive);
+    setup_ns_[i] = v.setup_ns;
     for (int o = 0; o < inst.num_outputs(); ++o) {
       const NetId out = inst.out[o];
       base_delay_[2 * i + (std::size_t)o] =
           v.d0_ns + v.kd_ns_per_ff * loads.cap_ff[out.index()];
       wire_delay_[2 * i + (std::size_t)o] =
           loads.wire_delay_ns[out.index()];
+    }
+  }
+}
+
+/// The one arrival sweep behind every Analyze* entry point. `arr`
+/// holds `lanes` arrival values per net (lane-major within a net);
+/// `mult_row(i)` returns a pointer to the `lanes` delay multipliers of
+/// instance i. Whether a net/cone is active is a pure function of the
+/// netlist and the case analysis — never of the multipliers — so one
+/// activity check serves every lane, and the per-lane inner loops are
+/// branch-free streams of mul/add/max the compiler can vectorize.
+///
+/// With lanes == 1 this is exactly the historical scalar sweep (same
+/// expressions, same order), which keeps the golden pins intact.
+template <typename MultRow>
+void TimingAnalyzer::PropagateArrivals(std::size_t lanes, double* arr,
+                                       const netlist::CaseAnalysis* ca,
+                                       const MultRow& mult_row) {
+  auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
+
+  std::fill(arr, arr + nl_.num_nets() * lanes, kNegInf);
+
+  // Launch: DFF Q pins (clk->Q scaled by the register's own bias) and
+  // primary-input ports (arrive at the clock edge).
+  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
+    const netlist::Instance& inst = nl_.instances()[i];
+    if (!inst.is_sequential()) continue;
+    const NetId q = inst.out[0];
+    if (!net_active(q)) continue;
+    const double* m = mult_row(i);
+    double* a = arr + q.index() * lanes;
+    // clk->Q: intrinsic + load-dependent part, plus the Q net's wire.
+    for (std::size_t l = 0; l < lanes; ++l)
+      a[l] = base_delay_[2 * i] * m[l] + wire_delay_[2 * i];
+  }
+  for (const NetId pi : nl_.primary_inputs()) {
+    if (!net_active(pi)) continue;
+    double* a = arr + pi.index() * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) a[l] = 0.0;
+  }
+
+  // Topological propagation through active arcs.
+  if (lanes > lane_scratch_.size()) lane_scratch_.resize(lanes);
+  double* in_arr = lane_scratch_.data();
+  for (const InstId id : order_) {
+    const std::uint32_t i = id.value;
+    const netlist::Instance& inst = nl_.instances()[i];
+    for (std::size_t l = 0; l < lanes; ++l) in_arr[l] = kNegInf;
+    for (int p = 0; p < inst.num_inputs(); ++p) {
+      const NetId in = inst.in[p];
+      if (!net_active(in)) continue;
+      const double* a = arr + in.index() * lanes;
+      for (std::size_t l = 0; l < lanes; ++l)
+        in_arr[l] = std::max(in_arr[l], a[l]);
+    }
+    // A net is reachable from an active launch (finite arrival) as a
+    // function of the graph and the case analysis only, so lane 0
+    // speaks for every lane.
+    if (in_arr[0] == kNegInf) continue;  // fully constant / unreachable
+    const double* m = mult_row(i);
+    for (int o = 0; o < inst.num_outputs(); ++o) {
+      const NetId out = inst.out[o];
+      if (!net_active(out)) continue;
+      double* a = arr + out.index() * lanes;
+      const double base = base_delay_[2 * i + (std::size_t)o];
+      const double wire = wire_delay_[2 * i + (std::size_t)o];
+      for (std::size_t l = 0; l < lanes; ++l)
+        a[l] = in_arr[l] + base * m[l] + wire;
     }
   }
 }
@@ -64,44 +134,8 @@ TimingReport TimingAnalyzer::Analyze(
   };
   auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
 
-  std::fill(arrival_.begin(), arrival_.end(), kNegInf);
-
-  // Launch: DFF Q pins (clk->Q scaled by the register's own bias) and
-  // primary-input ports (arrive at the clock edge).
-  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
-    const netlist::Instance& inst = nl_.instances()[i];
-    if (!inst.is_sequential()) continue;
-    const NetId q = inst.out[0];
-    if (!net_active(q)) continue;
-    const int b = bias_of(i);
-    // clk->Q: intrinsic + load-dependent part, plus the Q net's wire.
-    arrival_[q.index()] =
-        base_delay_[2 * i] * scale[b] + wire_delay_[2 * i];
-  }
-  for (const NetId pi : nl_.primary_inputs()) {
-    if (net_active(pi)) arrival_[pi.index()] = 0.0;
-  }
-
-  // Topological propagation through active arcs.
-  for (const InstId id : order_) {
-    const std::uint32_t i = id.value;
-    const netlist::Instance& inst = nl_.instances()[i];
-    double in_arr = kNegInf;
-    for (int p = 0; p < inst.num_inputs(); ++p) {
-      const NetId in = inst.in[p];
-      if (!net_active(in)) continue;
-      in_arr = std::max(in_arr, arrival_[in.index()]);
-    }
-    if (in_arr == kNegInf) continue;  // fully constant / unreachable cone
-    const int b = bias_of(i);
-    for (int o = 0; o < inst.num_outputs(); ++o) {
-      const NetId out = inst.out[o];
-      if (!net_active(out)) continue;
-      arrival_[out.index()] = in_arr +
-                              base_delay_[2 * i + (std::size_t)o] * scale[b] +
-                              wire_delay_[2 * i + (std::size_t)o];
-    }
-  }
+  PropagateArrivals(1, arrival_.data(), ca,
+                    [&](std::uint32_t i) { return &scale[bias_of(i)]; });
 
   // Capture: every DFF D pin is an endpoint.
   TimingReport rep;
@@ -110,8 +144,7 @@ TimingReport TimingAnalyzer::Analyze(
     if (!inst.is_sequential()) continue;
     const NetId d = inst.in[0];
     const int b = bias_of(i);
-    const double setup =
-        lib_.Variant(inst.kind, inst.drive).setup_ns * scale[b];
+    const double setup = setup_ns_[i] * scale[b];
     const double arr = arrival_[d.index()];
     const bool active = net_active(d) && arr != kNegInf;
     EndpointTiming ep;
@@ -132,6 +165,67 @@ TimingReport TimingAnalyzer::Analyze(
   return rep;
 }
 
+std::vector<TimingReport> TimingAnalyzer::AnalyzeBatch(
+    double vdd, double clock_ns,
+    std::span<const std::uint32_t> lane_masks,
+    const std::vector<int>& domain_of_inst,
+    const netlist::CaseAnalysis* ca) {
+  ADQ_CHECK(domain_of_inst.size() == nl_.num_instances());
+  const std::size_t W = lane_masks.size();
+  std::vector<TimingReport> reports(W);
+  if (W == 0) return reports;
+  static obs::Counter& batch_calls = obs::GetCounter("sta.batch_calls");
+  static obs::Counter& batch_lanes = obs::GetCounter("sta.batch_lanes");
+  batch_calls.Add();
+  batch_lanes.Add(static_cast<long>(W));
+
+  int ndom = 1;
+  for (const int d : domain_of_inst) ndom = std::max(ndom, d + 1);
+
+  // Per-lane NMAX-sized scale table: row d holds the W multipliers of
+  // domain d — the same two DelayScale values scalar Analyze uses, so
+  // every product below matches the scalar path bit for bit.
+  const double nobb = lib_.DelayScale(vdd, BiasState::kNoBB);
+  const double fbb = lib_.DelayScale(vdd, BiasState::kFBB);
+  scale_lanes_.resize(static_cast<std::size_t>(ndom) * W);
+  for (int d = 0; d < ndom; ++d)
+    for (std::size_t l = 0; l < W; ++l)
+      scale_lanes_[static_cast<std::size_t>(d) * W + l] =
+          ((lane_masks[l] >> d) & 1u) ? fbb : nobb;
+
+  arrival_lanes_.resize(nl_.num_nets() * W);
+  PropagateArrivals(W, arrival_lanes_.data(), ca, [&](std::uint32_t i) {
+    return &scale_lanes_[static_cast<std::size_t>(domain_of_inst[i]) * W];
+  });
+
+  auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
+  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
+    const netlist::Instance& inst = nl_.instances()[i];
+    if (!inst.is_sequential()) continue;
+    const NetId d = inst.in[0];
+    const double* m =
+        &scale_lanes_[static_cast<std::size_t>(domain_of_inst[i]) * W];
+    const double* arr = &arrival_lanes_[d.index() * W];
+    // Active is lane-invariant (see PropagateArrivals).
+    const bool active = net_active(d) && arr[0] != kNegInf;
+    for (std::size_t l = 0; l < W; ++l) {
+      TimingReport& rep = reports[l];
+      if (!active) {
+        ++rep.num_disabled_endpoints;
+        continue;
+      }
+      const double setup = setup_ns_[i] * m[l];
+      const double slack = clock_ns - setup - arr[l];
+      rep.wns_ns = std::min(rep.wns_ns, slack);
+      ++rep.num_active_endpoints;
+      if (slack < 0.0) ++rep.num_violations;
+    }
+  }
+  for (TimingReport& rep : reports)
+    if (rep.num_active_endpoints == 0) rep.wns_ns = clock_ns;
+  return reports;
+}
+
 TimingReport TimingAnalyzer::AnalyzeWithScales(
     const std::vector<double>& scale_of_inst, double clock_ns,
     const netlist::CaseAnalysis* ca) {
@@ -141,44 +235,15 @@ TimingReport TimingAnalyzer::AnalyzeWithScales(
   scaled_calls.Add();
   auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
 
-  std::fill(arrival_.begin(), arrival_.end(), kNegInf);
-  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
-    const netlist::Instance& inst = nl_.instances()[i];
-    if (!inst.is_sequential()) continue;
-    const NetId q = inst.out[0];
-    if (!net_active(q)) continue;
-    arrival_[q.index()] =
-        base_delay_[2 * i] * scale_of_inst[i] + wire_delay_[2 * i];
-  }
-  for (const NetId pi : nl_.primary_inputs())
-    if (net_active(pi)) arrival_[pi.index()] = 0.0;
-
-  for (const InstId id : order_) {
-    const std::uint32_t i = id.value;
-    const netlist::Instance& inst = nl_.instances()[i];
-    double in_arr = kNegInf;
-    for (int p = 0; p < inst.num_inputs(); ++p) {
-      const NetId in = inst.in[p];
-      if (!net_active(in)) continue;
-      in_arr = std::max(in_arr, arrival_[in.index()]);
-    }
-    if (in_arr == kNegInf) continue;
-    for (int o = 0; o < inst.num_outputs(); ++o) {
-      const NetId out = inst.out[o];
-      if (!net_active(out)) continue;
-      arrival_[out.index()] =
-          in_arr + base_delay_[2 * i + (std::size_t)o] * scale_of_inst[i] +
-          wire_delay_[2 * i + (std::size_t)o];
-    }
-  }
+  PropagateArrivals(1, arrival_.data(), ca,
+                    [&](std::uint32_t i) { return &scale_of_inst[i]; });
 
   TimingReport rep;
   for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
     const netlist::Instance& inst = nl_.instances()[i];
     if (!inst.is_sequential()) continue;
     const NetId d = inst.in[0];
-    const double setup =
-        lib_.Variant(inst.kind, inst.drive).setup_ns * scale_of_inst[i];
+    const double setup = setup_ns_[i] * scale_of_inst[i];
     const double arr = arrival_[d.index()];
     if (!net_active(d) || arr == kNegInf) {
       ++rep.num_disabled_endpoints;
@@ -209,40 +274,12 @@ TimingAnalyzer::DetailedTiming TimingAnalyzer::AnalyzeDetailed(
   auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
 
   DetailedTiming dt;
-  dt.arrival.assign(nl_.num_nets(), kNegInf);
+  dt.arrival.resize(nl_.num_nets());
   dt.required.assign(nl_.num_nets(), kPosInf);
 
-  // Forward sweep (same model as Analyze).
-  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
-    const netlist::Instance& inst = nl_.instances()[i];
-    if (!inst.is_sequential()) continue;
-    const NetId q = inst.out[0];
-    if (!net_active(q)) continue;
-    dt.arrival[q.index()] =
-        base_delay_[2 * i] * scale[bias_of(i)] + wire_delay_[2 * i];
-  }
-  for (const NetId pi : nl_.primary_inputs())
-    if (net_active(pi)) dt.arrival[pi.index()] = 0.0;
-
-  for (const InstId id : order_) {
-    const std::uint32_t i = id.value;
-    const netlist::Instance& inst = nl_.instances()[i];
-    double in_arr = kNegInf;
-    for (int p = 0; p < inst.num_inputs(); ++p) {
-      const NetId in = inst.in[p];
-      if (!net_active(in)) continue;
-      in_arr = std::max(in_arr, dt.arrival[in.index()]);
-    }
-    if (in_arr == kNegInf) continue;
-    const int b = bias_of(i);
-    for (int o = 0; o < inst.num_outputs(); ++o) {
-      const NetId out = inst.out[o];
-      if (!net_active(out)) continue;
-      dt.arrival[out.index()] = in_arr +
-                                base_delay_[2 * i + (std::size_t)o] * scale[b] +
-                                wire_delay_[2 * i + (std::size_t)o];
-    }
-  }
+  // Forward sweep (the exact kernel Analyze runs).
+  PropagateArrivals(1, dt.arrival.data(), ca,
+                    [&](std::uint32_t i) { return &scale[bias_of(i)]; });
 
   // Backward sweep: required time at capture D pins, propagated back.
   for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
@@ -250,8 +287,7 @@ TimingAnalyzer::DetailedTiming TimingAnalyzer::AnalyzeDetailed(
     if (!inst.is_sequential()) continue;
     const NetId d = inst.in[0];
     if (!net_active(d)) continue;
-    const double setup =
-        lib_.Variant(inst.kind, inst.drive).setup_ns * scale[bias_of(i)];
+    const double setup = setup_ns_[i] * scale[bias_of(i)];
     dt.required[d.index()] =
         std::min(dt.required[d.index()], clock_ns - setup);
   }

@@ -15,13 +15,23 @@
 ///     assignment is a single topological sweep with no allocation;
 ///   * case analysis (zeroed input LSBs) deactivates paths exactly as
 ///     the paper's Fig. 2 describes: arcs from constant nets carry no
-///     events, endpoints whose cone is fully constant are disabled.
+///     events, endpoints whose cone is fully constant are disabled;
+///   * many back-bias masks can be analyzed in one traversal:
+///     AnalyzeBatch propagates W arrival lanes per net in
+///     structure-of-arrays form, so one topological walk, one case-
+///     analysis check and one base/wire delay load serve W masks,
+///     with the inner loop reduced to a W-wide fused multiply-add/max
+///     the compiler can vectorize. Each lane is bit-identical to a
+///     scalar Analyze of the same mask (same FP expressions, same
+///     evaluation order) — the exploration engine relies on that.
 ///
 /// Timing model: registered operators; startpoints are DFF clk->Q,
 /// endpoints are DFF D pins with setup; wire delay is a lumped
 /// unscaled Elmore term (metal RC does not scale with Vth/VDD).
 
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "netlist/case_analysis.h"
@@ -71,6 +81,24 @@ class TimingAnalyzer {
                        const netlist::CaseAnalysis* ca = nullptr,
                        bool collect_endpoints = false);
 
+  /// Batched STA: analyzes W = lane_masks.size() back-bias masks in
+  /// one topological traversal. Lane l uses the per-instance bias
+  /// implied by lane_masks[l] over `domain_of_inst` (bit d set =
+  /// domain d forward back-biased, clear = NoBB — the exploration
+  /// engine's FBB mask convention, see core::BiasVectorFor). Arrival
+  /// times are propagated in structure-of-arrays form (W lanes per
+  /// net), so the graph walk, the case-analysis checks and the
+  /// base/wire delay loads are amortized across all W masks.
+  ///
+  /// Contract: reports[l] is bit-identical to
+  ///   Analyze(vdd, clock_ns, BiasVectorFor(design, lane_masks[l]), ca)
+  /// (endpoints are never collected). Pinned by tests/test_sta_batch.
+  std::vector<TimingReport> AnalyzeBatch(
+      double vdd, double clock_ns,
+      std::span<const std::uint32_t> lane_masks,
+      const std::vector<int>& domain_of_inst,
+      const netlist::CaseAnalysis* ca = nullptr);
+
   /// STA with an arbitrary per-instance delay multiplier (index =
   /// instance id) instead of the (VDD, bias) model — the entry point
   /// for alternative knob studies such as per-domain supply voltages
@@ -114,8 +142,19 @@ class TimingAnalyzer {
   // base_delay = d0 + kd * Cload (to be scaled), wire = fixed term.
   std::vector<double> base_delay_;
   std::vector<double> wire_delay_;
+  // Unscaled setup time per instance (nonzero for registers only) —
+  // keeps lib_.Variant() lookups out of the per-analysis endpoint loop.
+  std::vector<double> setup_ns_;
 
-  std::vector<double> arrival_;  // per net, scratch
+  std::vector<double> arrival_;        // per net, scratch (W = 1)
+  std::vector<double> arrival_lanes_;  // per net x lane, batch scratch
+  std::vector<double> lane_scratch_;   // W doubles, batch input-max
+  std::vector<double> scale_lanes_;    // per domain x lane, batch scales
+
+  template <typename MultRow>
+  void PropagateArrivals(std::size_t lanes, double* arr,
+                         const netlist::CaseAnalysis* ca,
+                         const MultRow& mult_row);
 };
 
 }  // namespace adq::sta

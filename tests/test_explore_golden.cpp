@@ -58,13 +58,18 @@ struct GoldenMode {
 // this deliberately tight 8-bit fixture filters harder (92.8%), which
 // the range assertions below accommodate.
 constexpr long kPointsConsidered = 320;
-constexpr long kStaRuns = 102;
+constexpr long kStaRuns = 37;
 constexpr long kFiltered = 297;
 // Monotone-pruning hits: points whose infeasibility was implied by a
-// smaller bitwidth, skipped without an STA run. Consistency:
-// kPointsConsidered = kStaRuns + kPruned, and kFiltered = kPruned +
-// (kStaRuns - kFeasible).
+// smaller bitwidth, skipped without an STA run. Mask-dominance hits:
+// points whose infeasibility was implied by a failing supermask at
+// the same (VDD, bitwidth). Consistency: kPointsConsidered = kStaRuns
+// + kPruned + kMaskPruned, and kFiltered = kPruned + kMaskPruned +
+// (kStaRuns - kFeasible). Before mask pruning this fixture ran 102
+// STAs; dominance converts 65 of them into free skips while leaving
+// every other counter (and all mode optima) untouched.
 constexpr long kPruned = 218;
+constexpr long kMaskPruned = 65;
 constexpr long kFeasible = 23;
 constexpr double kFilterRate = 0.92812499999999998;
 constexpr GoldenMode kModes[] = {
@@ -77,17 +82,19 @@ constexpr GoldenMode kModes[] = {
 TEST(ExploreGolden, StatsExactlyPinned) {
   const ExplorationResult& r = Result();
   std::printf("golden actual: points=%ld sta=%ld filtered=%ld "
-              "pruned=%ld feasible=%ld rate=%.17g\n",
+              "pruned=%ld mask_pruned=%ld feasible=%ld rate=%.17g\n",
               r.stats.points_considered, r.stats.sta_runs,
-              r.stats.filtered, r.stats.pruned, r.stats.feasible,
-              r.stats.FilterRate());
+              r.stats.filtered, r.stats.pruned, r.stats.mask_pruned,
+              r.stats.feasible, r.stats.FilterRate());
   EXPECT_EQ(r.stats.points_considered, kPointsConsidered);
   EXPECT_EQ(r.stats.sta_runs, kStaRuns);
   EXPECT_EQ(r.stats.filtered, kFiltered);
   EXPECT_EQ(r.stats.pruned, kPruned);
+  EXPECT_EQ(r.stats.mask_pruned, kMaskPruned);
   EXPECT_EQ(r.stats.feasible, kFeasible);
   // Every lattice point either got an STA run or was pruned away.
-  EXPECT_EQ(r.stats.sta_runs + r.stats.pruned, r.stats.points_considered);
+  EXPECT_EQ(r.stats.sta_runs + r.stats.pruned + r.stats.mask_pruned,
+            r.stats.points_considered);
   EXPECT_NEAR(r.stats.FilterRate(), kFilterRate, 1e-12);
   // The paper's headline: the STA filter discards a large majority
   // (~75%) of the exhaustive lattice.
@@ -134,18 +141,25 @@ TEST(ExploreGolden, MetricsSnapshotMirrorsStats) {
     ASSERT_TRUE(snap.counters.count("explore.sta_runs"));
     EXPECT_EQ(snap.counters.at("explore.sta_runs"), r.stats.sta_runs);
     EXPECT_EQ(snap.counters.at("explore.pruned_hits"), r.stats.pruned);
+    EXPECT_EQ(snap.counters.at("explore.mask_pruned"),
+              r.stats.mask_pruned);
     EXPECT_EQ(snap.counters.at("explore.filtered"), r.stats.filtered);
     EXPECT_EQ(snap.counters.at("explore.feasible"), r.stats.feasible);
     EXPECT_EQ(snap.counters.at("explore.points_considered"),
               r.stats.points_considered);
     EXPECT_EQ(snap.counters.at("explore.runs"), 1);
-    // And the run itself still matches the golden pin.
+    // And the run itself still matches the golden pin — in particular
+    // the dominance prune fires identically at both thread counts.
     EXPECT_EQ(r.stats.sta_runs, kStaRuns);
     EXPECT_EQ(r.stats.pruned, kPruned);
-    // The live sta.* counters bound the explorer's accounting from
-    // below: every explore-issued STA invocation hit the engine.
-    ASSERT_TRUE(snap.counters.count("sta.analyze_calls"));
-    EXPECT_GE(snap.counters.at("sta.analyze_calls"), r.stats.sta_runs);
+    EXPECT_EQ(r.stats.mask_pruned, kMaskPruned);
+    // The live sta.* counters mirror the explorer's accounting: every
+    // explore-issued STA run is one lane of one AnalyzeBatch call.
+    ASSERT_TRUE(snap.counters.count("sta.batch_calls"));
+    ASSERT_TRUE(snap.counters.count("sta.batch_lanes"));
+    EXPECT_EQ(snap.counters.at("sta.batch_lanes"), r.stats.sta_runs);
+    EXPECT_GE(snap.counters.at("sta.batch_lanes"),
+              snap.counters.at("sta.batch_calls"));
   }
 #endif
 }

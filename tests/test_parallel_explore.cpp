@@ -134,6 +134,8 @@ void ExpectResultsIdentical(const core::ExplorationResult& a,
   EXPECT_EQ(a.stats.points_considered, b.stats.points_considered);
   EXPECT_EQ(a.stats.sta_runs, b.stats.sta_runs);
   EXPECT_EQ(a.stats.filtered, b.stats.filtered);
+  EXPECT_EQ(a.stats.pruned, b.stats.pruned);
+  EXPECT_EQ(a.stats.mask_pruned, b.stats.mask_pruned);
   EXPECT_EQ(a.stats.feasible, b.stats.feasible);
   ASSERT_EQ(a.modes.size(), b.modes.size());
   for (std::size_t i = 0; i < a.modes.size(); ++i) {
@@ -186,6 +188,82 @@ TEST(ParallelExplore, HardwareDefaultMatchesSerial) {
   // num_threads = 0 resolves to hardware concurrency — whatever that
   // is on the machine running the test, the contract holds.
   ExpectResultsIdentical(RunExplore(BaseOptions(), 1), RunExplore(BaseOptions(), 0));
+}
+
+TEST(ParallelExplore, BitIdenticalAcrossBatchWidths) {
+  // The batched STA kernel is a pure throughput knob: every lane is
+  // bit-identical to a scalar run, so any batch width produces the
+  // same ExplorationResult — including all_points, since BaseOptions
+  // keeps them.
+  core::ExploreOptions opt = BaseOptions();
+  opt.batch_width = 1;
+  const core::ExplorationResult scalar = RunExplore(opt, 1);
+  for (const int w : {3, 8, 64}) {
+    for (const int nt : {1, 8}) {
+      SCOPED_TRACE("batch_width = " + std::to_string(w) +
+                   ", num_threads = " + std::to_string(nt));
+      opt.batch_width = w;
+      ExpectResultsIdentical(scalar, RunExplore(opt, nt));
+    }
+  }
+}
+
+void ExpectModesIdentical(const core::ExplorationResult& a,
+                          const core::ExplorationResult& b) {
+  ASSERT_EQ(a.modes.size(), b.modes.size());
+  for (std::size_t i = 0; i < a.modes.size(); ++i) {
+    EXPECT_EQ(a.modes[i].bitwidth, b.modes[i].bitwidth);
+    EXPECT_EQ(a.modes[i].has_solution, b.modes[i].has_solution);
+    EXPECT_EQ(a.modes[i].switched_energy_fj,
+              b.modes[i].switched_energy_fj);
+    if (a.modes[i].has_solution)
+      ExpectPointsIdentical(a.modes[i].best, b.modes[i].best);
+  }
+}
+
+TEST(ParallelExplore, MaskPruningIsExact) {
+  // Mask-dominance pruning never changes what is found — only how
+  // much STA is spent finding it. Every stat except the sta_runs /
+  // mask_pruned split must be identical with the prune on and off,
+  // at any thread count.
+  core::ExploreOptions on = BaseOptions();
+  on.keep_all_points = false;  // prune stands down otherwise
+  core::ExploreOptions off = on;
+  off.mask_pruning = false;
+  const core::ExplorationResult r_on = RunExplore(on, 1);
+  const core::ExplorationResult r_off = RunExplore(off, 1);
+
+  EXPECT_GT(r_on.stats.mask_pruned, 0);
+  EXPECT_EQ(r_off.stats.mask_pruned, 0);
+  EXPECT_LT(r_on.stats.sta_runs, r_off.stats.sta_runs);
+  // The trade is exact: pruned lanes are precisely the STA runs saved.
+  EXPECT_EQ(r_on.stats.sta_runs + r_on.stats.mask_pruned,
+            r_off.stats.sta_runs);
+  EXPECT_EQ(r_on.stats.points_considered, r_off.stats.points_considered);
+  EXPECT_EQ(r_on.stats.filtered, r_off.stats.filtered);
+  EXPECT_EQ(r_on.stats.pruned, r_off.stats.pruned);
+  EXPECT_EQ(r_on.stats.feasible, r_off.stats.feasible);
+  ExpectModesIdentical(r_on, r_off);
+
+  for (const int nt : {8}) {
+    SCOPED_TRACE("num_threads = " + std::to_string(nt));
+    ExpectResultsIdentical(r_on, RunExplore(on, nt));
+    ExpectResultsIdentical(r_off, RunExplore(off, nt));
+  }
+}
+
+TEST(ParallelExplore, MaskPruningInactiveWithKeptPoints) {
+  // keep_all_points records the computed wns_ns of every infeasible
+  // point, which a dominance skip cannot supply — so the prune must
+  // stand down and the full lattice must still be analyzed.
+  core::ExploreOptions opt = BaseOptions();
+  ASSERT_TRUE(opt.keep_all_points);
+  ASSERT_TRUE(opt.mask_pruning);
+  const core::ExplorationResult r = RunExplore(opt, 8);
+  EXPECT_EQ(r.stats.mask_pruned, 0);
+  EXPECT_EQ(r.all_points.size(),
+            static_cast<std::size_t>(r.stats.points_considered -
+                                     r.stats.pruned));
 }
 
 TEST(ParallelExplore, PruningStillSavesStaRuns) {
