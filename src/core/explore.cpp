@@ -153,13 +153,23 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
     }
   };
 
-  // Stage 1: per-mode constants — case analysis, activity simulation
-  // and switched energy are independent across bitwidths.
+  // Stage 1: per-mode constants. All bitwidths' activity profiles
+  // come from one bit-parallel simulation (one lane per accuracy
+  // mode), which also warms the process-wide activity cache; the
+  // remaining case analysis + switched energy are independent across
+  // bitwidths and stay on the pool.
   std::vector<std::unique_ptr<const netlist::CaseAnalysis>> ca(
       bitwidths.size());
   std::vector<double> energy_fj(bitwidths.size(), 0.0);
   {
     ADQ_TRACE_SCOPE("explore.mode_constants");
+    std::vector<int> mode_lsbs(bitwidths.size());
+    for (std::size_t i = 0; i < bitwidths.size(); ++i)
+      mode_lsbs[i] = ZeroedLsbs(design.op, bitwidths[i]);
+    const std::vector<sim::ActivityProfile> acts =
+        sim::ExtractActivityBatch(design.op, mode_lsbs,
+                                  opt.activity_cycles, opt.seed,
+                                  opt.stimulus);
     pool.ParallelFor(
         static_cast<std::int64_t>(bitwidths.size()), 1,
         [&](std::int64_t i, int w) {
@@ -168,11 +178,9 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
           ca[static_cast<std::size_t>(i)] =
               std::make_unique<const netlist::CaseAnalysis>(
                   nl, ForcedZeros(design.op, bw));
-          const sim::ActivityProfile act = sim::ExtractActivity(
-              design.op, ZeroedLsbs(design.op, bw), opt.activity_cycles,
-              opt.seed, opt.stimulus);
           energy_fj[static_cast<std::size_t>(i)] =
-              pmodel.SwitchedEnergyPerCycleFj(act);
+              pmodel.SwitchedEnergyPerCycleFj(
+                  acts[static_cast<std::size_t>(i)]);
         });
   }
 

@@ -89,12 +89,21 @@ VddIslandResult ExploreVddIslands(const ImplementedDesign& design,
   VddIslandResult result;
   result.num_level_shifters = static_cast<int>(sites.size());
 
+  // One bit-parallel simulation covers every bitwidth's activity
+  // profile (one lane per accuracy mode). The sizing fix above only
+  // touched drive strengths, so the profiles — cache entries included
+  // — are shared with an exploration run over the same design.
+  std::vector<int> mode_lsbs(bitwidths.size());
+  for (std::size_t i = 0; i < bitwidths.size(); ++i)
+    mode_lsbs[i] = ZeroedLsbs(op_copy, bitwidths[i]);
+  const std::vector<sim::ActivityProfile> acts = sim::ExtractActivityBatch(
+      op_copy, mode_lsbs, opt.activity_cycles, opt.seed, opt.stimulus);
+
   std::vector<double> scales(nl_v.num_instances(), 1.0);
-  for (const int bw : bitwidths) {
+  for (std::size_t bwi = 0; bwi < bitwidths.size(); ++bwi) {
+    const int bw = bitwidths[bwi];
     const netlist::CaseAnalysis ca(nl_v, ForcedZeros(op_copy, bw));
-    const sim::ActivityProfile act =
-        sim::ExtractActivity(op_copy, ZeroedLsbs(op_copy, bw),
-                             opt.activity_cycles, opt.seed, opt.stimulus);
+    const sim::ActivityProfile& act = acts[bwi];
     // Per-domain switched energy at 1 V (driver's rail pays the net).
     std::vector<double> energy_fj(static_cast<std::size_t>(ndom), 0.0);
     for (std::uint32_t i = 0; i < nl_v.num_instances(); ++i) {

@@ -161,6 +161,8 @@ Operator BuildFirMacOperator(int width) {
       {"x0", "x1", "x2", "x3", "c0", "c1", "c2", "c3"},
       width,
       /*target_clock_ns=*/4.0 / 3.0};
+  op.spec.accumulation_cycles =
+      (kFirTaps + kFirMacsPerCycle - 1) / kFirMacsPerCycle;
   Netlist& nl = op.nl;
 
   // Quad-MAC slice: four sample/coefficient pairs per cycle; a 30-tap
@@ -206,6 +208,9 @@ Operator BuildMacOperator(int width) {
   op.nl.set_name("mac" + std::to_string(width));
   op.spec = OperatorSpec{op.nl.name(), {"a", "b"}, width,
                          /*target_clock_ns=*/1.0};
+  // Generic MAC meta-function: frame length of a 16-sample dot
+  // product, the reference workload for the accumulator headroom.
+  op.spec.accumulation_cycles = 16;
   Netlist& nl = op.nl;
 
   const Word a = RegisteredInputBus(nl, "a", width);

@@ -25,6 +25,11 @@ struct OperatorSpec {
   int data_width = 16;
   /// Nominal clock period used for implementation [ns].
   double target_clock_ns = 1.0;
+  /// Accumulator framing period in cycles: every accumulation_cycles
+  /// cycles the "clr" bus is pulsed for one cycle during activity
+  /// extraction (an operator without a clr bus leaves this 0). For the
+  /// folded FIR this is the output-sample cadence ceil(taps/MACs).
+  int accumulation_cycles = 0;
 };
 
 struct Operator {

@@ -25,12 +25,14 @@
 namespace adq::netlist {
 
 /// One placed-library-cell instance. Input/output pin nets are stored
-/// inline (max 3 in, 2 out across the library).
+/// inline, sized by the library-wide pin ceilings (tech::
+/// kMaxCellInputs / kMaxCellOutputs) so a future wider cell fails the
+/// evaluator DCHECKs instead of silently overrunning these arrays.
 struct Instance {
   tech::CellKind kind = tech::CellKind::kInv;
   tech::DriveStrength drive = tech::DriveStrength::kX1;
-  std::array<NetId, 3> in{};
-  std::array<NetId, 2> out{};
+  std::array<NetId, tech::kMaxCellInputs> in{};
+  std::array<NetId, tech::kMaxCellOutputs> out{};
 
   int num_inputs() const { return tech::NumInputs(kind); }
   int num_outputs() const { return tech::NumOutputs(kind); }

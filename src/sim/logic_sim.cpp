@@ -31,11 +31,13 @@ void LogicSim::SetBus(const netlist::Bus& bus, std::uint64_t value) {
 }
 
 void LogicSim::Settle() {
-  bool in[3];
-  bool out[2];
+  bool in[tech::kMaxCellInputs];
+  bool out[tech::kMaxCellOutputs];
   for (const InstId id : order_) {
     const netlist::Instance& inst = nl_.inst(id);
     const int n_in = inst.num_inputs();
+    ADQ_DCHECK(n_in <= tech::kMaxCellInputs);
+    ADQ_DCHECK(inst.num_outputs() <= tech::kMaxCellOutputs);
     for (int p = 0; p < n_in; ++p) in[p] = values_[inst.in[p].index()];
     tech::Evaluate(inst.kind, in, out);
     for (int o = 0; o < inst.num_outputs(); ++o)

@@ -1,0 +1,154 @@
+#include "sim/packed_sim.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/metrics.h"
+
+namespace adq::sim {
+
+using netlist::InstId;
+using netlist::NetId;
+
+PackedLogicSim::PackedLogicSim(const netlist::Netlist& nl)
+    : nl_(nl),
+      values_(nl.num_nets(), 0),
+      prev_values_(nl.num_nets(), 0),
+      planes_(static_cast<std::size_t>(kCounterPlanes) * nl.num_nets(), 0),
+      lane_toggles_(nl.num_nets() * kLanes, 0) {
+  for (const InstId id : netlist::TopologicalOrder(nl)) {
+    if (!nl.inst(id).is_sequential()) order_.push_back(id);
+  }
+  Settle();
+}
+
+void PackedLogicSim::SetInput(NetId port, std::uint64_t lanes) {
+  ADQ_DCHECK(nl_.net(port).is_primary_input);
+  values_[port.index()] = lanes;
+}
+
+void PackedLogicSim::SetBus(const netlist::Bus& bus,
+                            std::span<const std::uint64_t> lane_values) {
+  ADQ_CHECK(!lane_values.empty() &&
+            lane_values.size() <= static_cast<std::size_t>(kLanes));
+  for (int i = 0; i < bus.width(); ++i) {
+    std::uint64_t w = 0;
+    for (std::size_t l = 0; l < static_cast<std::size_t>(kLanes); ++l) {
+      const std::uint64_t v =
+          lane_values[std::min(l, lane_values.size() - 1)];
+      w |= ((v >> i) & 1ULL) << l;
+    }
+    SetInput(bus.bits[static_cast<std::size_t>(i)], w);
+  }
+}
+
+void PackedLogicSim::Settle() {
+  std::uint64_t in[tech::kMaxCellInputs];
+  std::uint64_t out[tech::kMaxCellOutputs];
+  for (const InstId id : order_) {
+    const netlist::Instance& inst = nl_.inst(id);
+    const int n_in = inst.num_inputs();
+    ADQ_DCHECK(n_in <= tech::kMaxCellInputs);
+    ADQ_DCHECK(inst.num_outputs() <= tech::kMaxCellOutputs);
+    for (int p = 0; p < n_in; ++p) in[p] = values_[inst.in[p].index()];
+    tech::EvaluateWord(inst.kind, in, out);
+    for (int o = 0; o < inst.num_outputs(); ++o)
+      values_[inst.out[o].index()] = out[o];
+  }
+}
+
+void PackedLogicSim::Tick() {
+  static obs::Counter& ticks = obs::GetCounter("sim.packed_ticks");
+  ticks.Add();
+  // Mirror LogicSim::Tick: settle D pins, clock edge, settle anew.
+  Settle();
+  for (const netlist::Instance& inst : nl_.instances()) {
+    if (!inst.is_sequential()) continue;
+    values_[inst.out[0].index()] = values_[inst.in[0].index()];
+  }
+  Settle();
+
+  // Per-lane cycle-based activity between consecutive post-edge
+  // steady states, accumulated into the bit-sliced counter planes.
+  if (have_prev_) {
+    if (pending_ == kFlushPeriod) FlushCounters();
+    const std::size_t n_nets = values_.size();
+    for (std::size_t n = 0; n < n_nets; ++n) {
+      std::uint64_t x = values_[n] ^ prev_values_[n];
+      for (std::size_t p = 0; x; ++p) {
+        ADQ_DCHECK(p < static_cast<std::size_t>(kCounterPlanes));
+        std::uint64_t& w = planes_[p * n_nets + n];
+        const std::uint64_t carry = w & x;
+        w ^= x;
+        x = carry;
+      }
+    }
+    ++pending_;
+    ++cycles_;
+  }
+  prev_values_ = values_;
+  have_prev_ = true;
+}
+
+void PackedLogicSim::Reset() {
+  for (const netlist::Instance& inst : nl_.instances()) {
+    if (inst.is_sequential()) values_[inst.out[0].index()] = 0;
+  }
+  std::fill(planes_.begin(), planes_.end(), 0);
+  std::fill(lane_toggles_.begin(), lane_toggles_.end(), 0);
+  pending_ = 0;
+  cycles_ = 0;
+  have_prev_ = false;
+  Settle();
+}
+
+void PackedLogicSim::FlushCounters() const {
+  if (pending_ == 0) return;
+  const std::size_t n_nets = values_.size();
+  for (std::size_t n = 0; n < n_nets; ++n) {
+    std::uint64_t any = 0;
+    for (int p = 0; p < kCounterPlanes; ++p)
+      any |= planes_[static_cast<std::size_t>(p) * n_nets + n];
+    if (!any) continue;
+    for (int l = 0; l < kLanes; ++l) {
+      if (!((any >> l) & 1ULL)) continue;
+      std::uint64_t c = 0;
+      for (int p = 0; p < kCounterPlanes; ++p)
+        c |= ((planes_[static_cast<std::size_t>(p) * n_nets + n] >> l) &
+              1ULL)
+             << p;
+      lane_toggles_[n * kLanes + static_cast<std::size_t>(l)] += c;
+    }
+    for (int p = 0; p < kCounterPlanes; ++p)
+      planes_[static_cast<std::size_t>(p) * n_nets + n] = 0;
+  }
+  pending_ = 0;
+}
+
+std::uint64_t PackedLogicSim::ReadBus(const netlist::Bus& bus,
+                                      int lane) const {
+  ADQ_DCHECK(lane >= 0 && lane < kLanes);
+  std::uint64_t v = 0;
+  for (int i = 0; i < bus.width(); ++i)
+    if (Value(bus.bits[static_cast<std::size_t>(i)], lane))
+      v |= 1ULL << i;
+  return v;
+}
+
+std::uint64_t PackedLogicSim::Toggles(NetId net, int lane) const {
+  ADQ_DCHECK(lane >= 0 && lane < kLanes);
+  FlushCounters();
+  return lane_toggles_[net.index() * kLanes +
+                       static_cast<std::size_t>(lane)];
+}
+
+std::uint64_t PackedLogicSim::TotalToggles(NetId net) const {
+  FlushCounters();
+  std::uint64_t total = 0;
+  for (int l = 0; l < kLanes; ++l)
+    total += lane_toggles_[net.index() * kLanes +
+                           static_cast<std::size_t>(l)];
+  return total;
+}
+
+}  // namespace adq::sim

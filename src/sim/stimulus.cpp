@@ -17,14 +17,31 @@ std::vector<std::uint64_t> UniformStream(util::Rng& rng, int width, int n) {
 
 std::vector<std::uint64_t> CorrelatedStream(util::Rng& rng, int width,
                                             int n, double rho) {
-  ADQ_CHECK(width >= 2 && width <= 63 && n >= 0);
+  ADQ_CHECK(width >= 1 && width <= 64 && n >= 0);
   ADQ_CHECK(rho >= 0.0 && rho < 1.0);
   std::vector<std::uint64_t> out;
   out.reserve(static_cast<std::size_t>(n));
-  const double full = static_cast<double>((1LL << (width - 1)) - 1);
-  const double scale = 0.6 * full;
   const double innovation = std::sqrt(1.0 - rho * rho);
   double state = 0.0;
+  if (width == 1) {
+    // One-bit operand: the full-scale constant degenerates to 0, so
+    // emit the sign of the AR(1) process instead — a correlated bit
+    // stream with the same lag-1 statistics.
+    for (int i = 0; i < n; ++i) {
+      state = rho * state + innovation * rng.Gaussian(0.0, 1.0);
+      out.push_back(state < 0.0 ? 1ULL : 0ULL);
+    }
+    return out;
+  }
+  // Widths <= 62 keep the exact historical constant so existing
+  // streams stay bit-identical; 2^(width-1)-1 is not a double above
+  // that (and shifting overflows at 64), so wide operands use the
+  // largest double strictly below 2^(width-1) as full scale.
+  const double full =
+      (width <= 62)
+          ? static_cast<double>((1LL << (width - 1)) - 1)
+          : std::nextafter(std::ldexp(1.0, width - 1), 0.0);
+  const double scale = 0.6 * full;
   for (int i = 0; i < n; ++i) {
     state = rho * state + innovation * rng.Gaussian(0.0, 1.0);
     const double v = std::clamp(state * scale, -full, full);

@@ -24,7 +24,8 @@ std::vector<std::uint64_t> UniformStream(util::Rng& rng, int width, int n);
 /// Produces `n` lag-1 autocorrelated (rho ~ 0.95) Gaussian samples
 /// scaled to ~60% of full scale, saturated to `width` bits — a
 /// DSP-like signal with realistic bit-level activity (low toggling on
-/// high-order bits).
+/// high-order bits). Supports the full UniformStream width contract,
+/// 1 <= width <= 64; width 1 emits the sign of the AR(1) process.
 std::vector<std::uint64_t> CorrelatedStream(util::Rng& rng, int width,
                                             int n, double rho = 0.95);
 

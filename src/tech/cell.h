@@ -41,6 +41,13 @@ enum class CellKind : std::uint8_t {
 
 inline constexpr int kNumCellKinds = static_cast<int>(CellKind::kCount_);
 
+/// Library-wide pin-count ceilings. Instance pin storage and every
+/// simulator scratch buffer are sized by these; a future wider cell
+/// must bump them (the evaluators DCHECK against overrun instead of
+/// silently smashing the stack).
+inline constexpr int kMaxCellInputs = 3;
+inline constexpr int kMaxCellOutputs = 2;
+
 /// Available drive strengths. Sizing optimization moves cells along
 /// this axis: a larger drive has proportionally lower load sensitivity
 /// but larger input capacitance, area and leakage. X0P5/X0P25 are the
@@ -182,6 +189,50 @@ inline void Evaluate(CellKind k, const bool* in, bool* out) {
     case CellKind::kCount_: break;
   }
   ADQ_CHECK_MSG(false, "bad cell kind in Evaluate");
+}
+
+/// Word-wise counterpart of Evaluate: each of the 64 bit positions of
+/// the input words is an independent simulation lane, and one bitwise
+/// op evaluates the cell for all 64 lanes at once (the bit-parallel
+/// packed simulator's inner loop). Lane l of EvaluateWord's outputs
+/// equals Evaluate applied to lane l of its inputs, for every kind —
+/// the contract tests/test_sim_packed pins exhaustively.
+inline void EvaluateWord(CellKind k, const std::uint64_t* in,
+                         std::uint64_t* out) {
+  switch (k) {
+    case CellKind::kTieLo: out[0] = 0; return;
+    case CellKind::kTieHi: out[0] = ~0ULL; return;
+    case CellKind::kBuf: out[0] = in[0]; return;
+    case CellKind::kInv: out[0] = ~in[0]; return;
+    case CellKind::kNand2: out[0] = ~(in[0] & in[1]); return;
+    case CellKind::kNor2: out[0] = ~(in[0] | in[1]); return;
+    case CellKind::kAnd2: out[0] = in[0] & in[1]; return;
+    case CellKind::kOr2: out[0] = in[0] | in[1]; return;
+    case CellKind::kXor2: out[0] = in[0] ^ in[1]; return;
+    case CellKind::kXnor2: out[0] = ~(in[0] ^ in[1]); return;
+    case CellKind::kNand3: out[0] = ~(in[0] & in[1] & in[2]); return;
+    case CellKind::kNor3: out[0] = ~(in[0] | in[1] | in[2]); return;
+    case CellKind::kAnd3: out[0] = in[0] & in[1] & in[2]; return;
+    case CellKind::kOr3: out[0] = in[0] | in[1] | in[2]; return;
+    case CellKind::kAoi21: out[0] = ~((in[0] & in[1]) | in[2]); return;
+    case CellKind::kOai21: out[0] = ~((in[0] | in[1]) & in[2]); return;
+    case CellKind::kMux2:
+      out[0] = (in[2] & in[1]) | (~in[2] & in[0]);
+      return;
+    case CellKind::kHa:
+      out[0] = in[0] ^ in[1];
+      out[1] = in[0] & in[1];
+      return;
+    case CellKind::kFa: {
+      const std::uint64_t a = in[0], b = in[1], c = in[2];
+      out[0] = a ^ b ^ c;
+      out[1] = (a & b) | (c & (a ^ b));
+      return;
+    }
+    case CellKind::kDff: out[0] = in[0]; return;
+    case CellKind::kCount_: break;
+  }
+  ADQ_CHECK_MSG(false, "bad cell kind in EvaluateWord");
 }
 
 }  // namespace adq::tech

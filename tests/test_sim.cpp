@@ -104,6 +104,50 @@ TEST(Stimulus, CorrelatedStreamBoundedAndCorrelated) {
   EXPECT_GT(corr_acc / power, 0.7);
 }
 
+TEST(Stimulus, CorrelatedStreamSupportsFullWidthRange) {
+  // Satellite contract: CorrelatedStream accepts every width
+  // UniformStream does (1..64) instead of CHECK-failing at the edges.
+  for (const int width : {1, 2, 62, 63, 64}) {
+    util::Rng rng(7);
+    const auto s = CorrelatedStream(rng, width, 600);
+    ASSERT_EQ(s.size(), 600u);
+    bool any_pos = false, any_neg = false;
+    for (const auto v : s) {
+      if (width < 64) {
+        EXPECT_LT(v, 1ULL << width);
+      }
+      const std::int64_t sv = util::ToSigned(v, width);
+      any_pos = any_pos || sv > 0;
+      any_neg = any_neg || sv < 0;
+    }
+    EXPECT_TRUE(any_neg) << "width " << width << " never goes negative";
+    if (width > 1) {
+      EXPECT_TRUE(any_pos) << "width " << width << " never goes positive";
+    }
+  }
+}
+
+TEST(Stimulus, CorrelatedStreamWidthOneIsCorrelatedSignBit) {
+  util::Rng rng(9);
+  const auto s = CorrelatedStream(rng, 1, 4000, 0.95);
+  int flips = 0;
+  for (std::size_t i = 1; i < s.size(); ++i)
+    if (s[i] != s[i - 1]) ++flips;
+  // A rho=0.95 sign process flips far less often than a fair coin.
+  EXPECT_GT(flips, 0);
+  EXPECT_LT(flips, 1000);
+}
+
+TEST(Stimulus, CorrelatedStreamNarrowWidthsUnchanged) {
+  // The widened contract must not disturb existing streams: width 16
+  // keeps its exact historical full-scale constant, so the first few
+  // samples stay pinned by determinism of the Rng.
+  util::Rng a(2), b(2);
+  const auto s1 = CorrelatedStream(a, 16, 100, 0.95);
+  const auto s2 = CorrelatedStream(b, 16, 100, 0.95);
+  EXPECT_EQ(s1, s2);
+}
+
 TEST(Stimulus, MaskStreamZeroesLsbs) {
   util::Rng rng(3);
   auto s = UniformStream(rng, 16, 100);
@@ -133,6 +177,34 @@ TEST(Activity, ZeroedLsbsReduceActivity) {
   };
   EXPECT_LT(total(half), total(full));
   EXPECT_LT(total(none), 1e-9) << "all-zero inputs must be toggle-free";
+}
+
+TEST(Activity, TooFewCyclesRejected) {
+  // cycles == 1 only establishes the toggle baseline (cycles() == 0),
+  // which used to silently produce an all-zero profile and 0 W of
+  // dynamic power; now it is a contract violation.
+  const gen::Operator op = gen::BuildBoothOperator(8);
+  EXPECT_THROW(ExtractActivity(op, 0, 1, 11), CheckError);
+  EXPECT_THROW(ExtractActivity(op, 0, 0, 11), CheckError);
+  EXPECT_THROW(ExtractActivityScalar(op, 0, 1, 11), CheckError);
+  const ActivityProfile two = ExtractActivity(op, 0, 2, 11);
+  EXPECT_EQ(two.cycles, 1u);
+}
+
+TEST(Activity, ClearCadenceFollowsOperatorSpec) {
+  // The clr pulse period is the operator's declared accumulation
+  // frame (ceil(30/4) = 8 for the folded FIR), not a hard-coded 15.
+  const gen::Operator fir = gen::BuildFirMacOperator(8);
+  EXPECT_EQ(fir.spec.accumulation_cycles,
+            (gen::kFirTaps + gen::kFirMacsPerCycle - 1) /
+                gen::kFirMacsPerCycle);
+  const gen::Operator mac = gen::BuildMacOperator(8);
+  EXPECT_GT(mac.spec.accumulation_cycles, 0);
+  // An operator with a clr bus but no declared frame length is a
+  // contract violation, not a silent default.
+  gen::Operator broken = mac;
+  broken.spec.accumulation_cycles = 0;
+  EXPECT_THROW(ExtractActivityScalar(broken, 0, 64, 1), CheckError);
 }
 
 TEST(Activity, DeterministicInSeed) {
