@@ -3,7 +3,7 @@
 /// and a Vth-domain grid, get the full methodology report.
 ///
 /// Usage: domain_explorer [booth|butterfly|fir|mac|array] [NX] [NY]
-///                        [regular|bands] [threads]
+///                        [regular|bands] [threads] [--lint=off|warn|error]
 ///                        [--trace=f.json] [--metrics=f.json] [--progress]
 /// Defaults: booth 2 2 regular 0 (threads: 0 = one per hardware
 /// thread, 1 = serial; any value gives identical results — the
@@ -32,6 +32,7 @@
 #include "core/flow.h"
 #include "core/pareto.h"
 #include "gen/operator.h"
+#include "lint/lint.h"
 #include "netlist/stats.h"
 #include "obs/obs.h"
 #include "util/table.h"
@@ -40,9 +41,23 @@
 int main(int argc, char** argv) {
   using namespace adq;
   obs::Options oopt = obs::OptionsFromEnv();
-  std::vector<const char*> pos;  // positional args, obs flags stripped
-  for (int i = 1; i < argc; ++i)
-    if (!obs::ParseObsFlag(argv[i], &oopt)) pos.push_back(argv[i]);
+  lint::LintGate lint_gate = lint::LintGate::kError;
+  std::vector<const char*> pos;  // positional args, flags stripped
+  for (int i = 1; i < argc; ++i) {
+    if (obs::ParseObsFlag(argv[i], &oopt)) continue;
+    if (std::strncmp(argv[i], "--lint=", 7) == 0) {
+      const char* v = argv[i] + 7;
+      if (std::strcmp(v, "off") == 0) lint_gate = lint::LintGate::kOff;
+      else if (std::strcmp(v, "warn") == 0) lint_gate = lint::LintGate::kWarn;
+      else if (std::strcmp(v, "error") == 0) lint_gate = lint::LintGate::kError;
+      else {
+        std::fprintf(stderr, "--lint must be off, warn or error\n");
+        return 1;
+      }
+      continue;
+    }
+    pos.push_back(argv[i]);
+  }
   obs::Configure(oopt);
 
   const char* which = pos.size() > 0 ? pos[0] : "booth";
@@ -70,6 +85,7 @@ int main(int argc, char** argv) {
     fopt.strategy = core::DomainStrategy::kCriticalityBands;
   const int threads = pos.size() > 4 ? std::atoi(pos[4]) : 0;
   fopt.num_threads = threads;
+  fopt.lint = lint_gate;
   std::printf("operator %s, grid %s (%s)\n", op.spec.name.c_str(),
               grid.ToString().c_str(),
               fopt.strategy == core::DomainStrategy::kCriticalityBands
@@ -93,6 +109,12 @@ int main(int argc, char** argv) {
       core::ExploreDvas(design, lib, core::DvasVariant::kFBB, xopt);
   const auto dvas_nobb =
       core::ExploreDvas(design, lib, core::DvasVariant::kNoBB, xopt);
+
+  // The schedule the runtime controller would program, gated by the
+  // same --lint policy as the flow (rules FL004 / MD001).
+  const core::RuntimeController ctl(ours);
+  lint::EnforceGate(ctl.Lint(design.num_domains(), design.op.spec.data_width),
+                    lint_gate);
 
   const auto fo = core::Frontier(ours);
   const auto ff = core::Frontier(dvas_fbb);

@@ -60,4 +60,14 @@ std::string RuntimeController::RenderTable() const {
   return t.Render();
 }
 
+lint::LintReport RuntimeController::Lint(int num_domains,
+                                         int data_width) const {
+  std::vector<lint::ModeEntry> modes;
+  modes.reserve(table_.size());
+  for (const KnobSetting& k : table_)
+    modes.push_back(
+        lint::ModeEntry{k.bitwidth, k.vdd, k.fbb_mask, k.rbb_mask, k.power_w});
+  return lint::LintModeTable("mode-table", modes, num_domains, data_width);
+}
+
 }  // namespace adq::core

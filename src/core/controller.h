@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/explore.h"
+#include "lint/lint.h"
 
 namespace adq::core {
 
@@ -50,6 +51,12 @@ class RuntimeController {
 
   /// Human-readable mode table.
   std::string RenderTable() const;
+
+  /// Checks the programmed schedule for consistency (lint rules
+  /// FL004 bias-mask width, MD001 VDD/bitwidth schedule): masks must
+  /// fit the domain count, no domain both FBB and RBB, bitwidths
+  /// unique and within the operator's data width, power monotone.
+  lint::LintReport Lint(int num_domains, int data_width) const;
 
  private:
   std::vector<KnobSetting> table_;

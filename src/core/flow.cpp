@@ -15,12 +15,24 @@ ImplementedDesign RunImplementationFlow(gen::Operator op,
   d.op = std::move(op);
   netlist::Netlist& nl = d.op.nl;
 
+  // Post-phase lint gates. The netlist DRC runs with the fanout
+  // ceiling the buffering pass just enforced; flow-artifact rules are
+  // added once the partition and final placement exist.
+  lint::LintOptions lint_opt;
+  lint_opt.max_fanout = 8;
+  const auto lint_netlist_gate = [&] {
+    if (fopt.lint == lint::LintGate::kOff) return;
+    ADQ_OBS_PHASE("flow.lint");
+    lint::EnforceGate(lint::LintNetlist(nl, lint_opt), fopt.lint);
+  };
+
   // --- Fanout bounding (buffer trees on high-fanout control nets).
   {
     ADQ_OBS_PHASE("flow.buffering");
     opt::BufferHighFanout(nl, 8);
     nl.Validate();
   }
+  lint_netlist_gate();
 
   // --- Synthesis-like sizing against a wireload model. The clock is
   // tightened by a margin so that post-layout parasitics (unknown at
@@ -102,6 +114,13 @@ ImplementedDesign RunImplementationFlow(gen::Operator op,
     ADQ_OBS_PHASE("flow.legalize");
     d.placement = place::ApplyPartition(nl, lib, first, d.partition);
   }
+  if (fopt.lint != lint::LintGate::kOff) {
+    ADQ_OBS_PHASE("flow.lint");
+    lint::FlowArtifacts art;
+    art.placement = &d.placement;
+    art.partition = &d.partition;
+    lint::EnforceGate(lint::LintFlow(nl, lib, art, lint_opt), fopt.lint);
+  }
 
   // --- Final extraction + incremental-placement ECO (the paper's
   // incremental step re-optimizes sizing with the guardband-stretched
@@ -124,6 +143,12 @@ ImplementedDesign RunImplementationFlow(gen::Operator op,
         },
         eco);
     d.sizing.upsize_moves += r.upsize_moves;
+    // The ECO resized cells after legalization, so a boundary cell
+    // that grew can now protrude into the guardband (lint FL002).
+    // Re-legalize exactly the affected tiles before final extraction.
+    const int relegalized =
+        place::RelegalizeViolations(nl, lib, &d.partition, &d.placement);
+    obs::GetCounter("flow.relegalized_tiles").Add(relegalized);
     d.loads = place::ExtractLoads(nl, lib, d.placement);
   }
 
@@ -143,6 +168,20 @@ ImplementedDesign RunImplementationFlow(gen::Operator op,
         analyzer.Analyze(tech::CellLibrary::kVddNominal, d.clock_ns, bias);
     d.timing_met = rep.feasible();
     d.sizing.wns_ns = rep.wns_ns;
+  }
+
+  // --- Signoff lint: the full netlist DRC again (the ECO passes
+  // rewired and resized cells) plus every flow-artifact invariant,
+  // now including the registered-I/O constraint discipline.
+  if (fopt.lint != lint::LintGate::kOff) {
+    ADQ_OBS_PHASE("flow.lint");
+    lint::LintReport rep = lint::LintNetlist(nl, lint_opt);
+    lint::FlowArtifacts art;
+    art.placement = &d.placement;
+    art.partition = &d.partition;
+    art.clock_ns = d.clock_ns;
+    rep.Merge(lint::LintFlow(nl, lib, art, lint_opt));
+    lint::EnforceGate(rep, fopt.lint);
   }
   return d;
 }

@@ -12,6 +12,7 @@
 /// implementation: no guardbands, a single bias domain.
 
 #include "gen/operator.h"
+#include "lint/lint.h"
 #include "opt/buffering.h"
 #include "opt/sizing.h"
 #include "place/grid_partition.h"
@@ -45,6 +46,10 @@ struct FlowOptions {
   /// per hardware thread, 1 = single-threaded. The produced design is
   /// identical for every setting.
   int num_threads = 0;
+  /// Lint gate policy applied after buffering, after legalization and
+  /// at signoff (see lint/lint.h). kError aborts the flow on any
+  /// structural error; warnings (dead cones, fanout) never abort.
+  lint::LintGate lint = lint::LintGate::kError;
 };
 
 struct ImplementedDesign {

@@ -1,0 +1,88 @@
+#include "lint/diagnostics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace adq::lint {
+
+namespace {
+
+/// JSON string escaping (same subset the obs serializers emit:
+/// quote, backslash and control characters).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int LintReport::Count(Severity s) const {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics)
+    if (d.severity == s) ++n;
+  return n;
+}
+
+void LintReport::Merge(const LintReport& other) {
+  if (subject.empty()) subject = other.subject;
+  if (!other.scope.empty()) {
+    if (!scope.empty() && scope != other.scope) scope += "+";
+    if (scope.find(other.scope) == std::string::npos) scope += other.scope;
+  }
+  rules_run += other.rules_run;
+  diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                     other.diagnostics.end());
+}
+
+std::string LintReport::Render() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics) {
+    os << subject << ": " << ToString(d.severity) << " [" << d.rule << "] "
+       << d.location << ": " << d.message;
+    if (!d.hint.empty()) os << " (hint: " << d.hint << ")";
+    os << "\n";
+  }
+  os << subject << ": " << errors() << " error(s), " << warnings()
+     << " warning(s), " << rules_run << " rule(s) run\n";
+  return os.str();
+}
+
+std::string LintReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"subject\":\"" << JsonEscape(subject) << "\",\"scope\":\""
+     << JsonEscape(scope) << "\",\"rules_run\":" << rules_run
+     << ",\"errors\":" << errors() << ",\"warnings\":" << warnings()
+     << ",\"clean\":" << (clean() ? "true" : "false")
+     << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i) os << ",";
+    os << "{\"rule\":\"" << JsonEscape(d.rule) << "\",\"severity\":\""
+       << ToString(d.severity) << "\",\"location\":\""
+       << JsonEscape(d.location) << "\",\"message\":\""
+       << JsonEscape(d.message) << "\"";
+    if (!d.hint.empty()) os << ",\"hint\":\"" << JsonEscape(d.hint) << "\"";
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace adq::lint

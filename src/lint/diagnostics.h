@@ -1,0 +1,64 @@
+#pragma once
+/// \file diagnostics.h
+/// \brief Diagnostics engine of the adq_lint static analyzer.
+///
+/// Every lint rule reports findings as Diagnostic records — rule id,
+/// severity, location, message, optional fix hint — collected into a
+/// LintReport that renders either human-readable (one line per
+/// finding, compiler style) or as a machine-readable JSON document
+/// (the `netlist_lint --json=` output CI and scripts consume).
+///
+/// Severity semantics: kError marks structural corruption that makes
+/// downstream STA/power numbers meaningless (multi-driven net, cell
+/// outside every bias domain, ...); kWarning marks suspicious-but-
+/// analyzable structure (dead logic cones, dangling outputs). A
+/// netlist is *lint-clean* when it has no errors; warnings are
+/// surfaced and mirrored into obs metrics but never fail a flow gate
+/// that is set to LintGate::kError.
+
+#include <string>
+#include <vector>
+
+namespace adq::lint {
+
+enum class Severity { kWarning, kError };
+
+inline const char* ToString(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+/// One finding of one rule at one location.
+struct Diagnostic {
+  std::string rule;      ///< rule id, e.g. "NL001"
+  Severity severity = Severity::kError;
+  std::string location;  ///< e.g. "net 42 (p[3])", "inst 17 (FA)"
+  std::string message;   ///< what is wrong
+  std::string hint;      ///< how to fix it; may be empty
+};
+
+/// All findings of one lint pass over one subject.
+struct LintReport {
+  std::string subject;   ///< netlist/design name the pass ran on
+  std::string scope;     ///< "netlist", "flow", "modes"
+  int rules_run = 0;     ///< rules executed (not skipped by options)
+  std::vector<Diagnostic> diagnostics;
+
+  void Add(Diagnostic d) { diagnostics.push_back(std::move(d)); }
+
+  int Count(Severity s) const;
+  int errors() const { return Count(Severity::kError); }
+  int warnings() const { return Count(Severity::kWarning); }
+  /// Lint-clean = no error-severity findings.
+  bool clean() const { return errors() == 0; }
+
+  /// Appends another pass's findings (used to combine the netlist,
+  /// flow and mode-table passes into one report/JSON document).
+  void Merge(const LintReport& other);
+
+  /// Compiler-style text: "subject: severity [rule] location: message".
+  std::string Render() const;
+  /// Machine-readable report (schema documented in README "Linting").
+  std::string ToJson() const;
+};
+
+}  // namespace adq::lint

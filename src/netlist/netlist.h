@@ -142,6 +142,12 @@ class Netlist {
   /// Throws CheckError on violation.
   void Validate() const;
 
+  /// Test-only backdoor used by lint fixtures to corrupt a netlist in
+  /// ways the construction API (correctly) refuses — stale driver
+  /// back-references, duplicate sinks, unflagged bus bits. Production
+  /// code must never use it.
+  friend struct RawAccess;
+
  private:
   InstId AddInstance(tech::CellKind kind, tech::DriveStrength drive,
                      const std::vector<NetId>& ins);
@@ -155,6 +161,23 @@ class Netlist {
   std::vector<Bus> input_buses_;
   std::vector<Bus> output_buses_;
   NetId const_net_[2];  // lazily created TIELO / TIEHI outputs
+};
+
+/// Mutable access to a Netlist's internals, for tests that need to
+/// construct deliberately broken netlists (lint rule fixtures).
+struct RawAccess {
+  explicit RawAccess(Netlist& nl) : nl_(nl) {}
+
+  Net& net(NetId id) { return nl_.nets_[id.index()]; }
+  Instance& inst(InstId id) { return nl_.instances_[id.index()]; }
+  std::vector<Bus>& input_buses() { return nl_.input_buses_; }
+  std::vector<Bus>& output_buses() { return nl_.output_buses_; }
+  std::vector<NetId>& primary_inputs() { return nl_.primary_inputs_; }
+  std::vector<NetId>& primary_outputs() { return nl_.primary_outputs_; }
+  std::vector<std::string>& port_names() { return nl_.net_port_names_; }
+
+ private:
+  Netlist& nl_;
 };
 
 }  // namespace adq::netlist

@@ -247,4 +247,129 @@ Placement ApplyPartition(const Netlist& nl, const tech::CellLibrary& lib,
   return out;
 }
 
+int RelegalizeViolations(const Netlist& nl, const tech::CellLibrary& lib,
+                         GridPartition* part, Placement* pl) {
+  ADQ_CHECK(part != nullptr && pl != nullptr);
+  ADQ_CHECK(pl->pos.size() == nl.num_instances());
+  ADQ_CHECK(part->domain_of.size() == nl.num_instances());
+  const GridConfig cfg = part->cfg;
+  const int ndom = part->num_domains();
+  const double rh = part->original.row_height_um;
+  constexpr double kEps = 1e-9;
+
+  auto width_of = [&](std::uint32_t i) {
+    const netlist::Instance& inst = nl.instances()[i];
+    return lib.Variant(inst.kind, inst.drive).width_um;
+  };
+  auto tile_of = [&](int dom) -> const GridPartition::Tile& {
+    return part->tiles[static_cast<std::size_t>(dom)];
+  };
+  // Row capacity of a tile in um of cell width (the legalizer's own
+  // capacity model).
+  auto capacity = [&](int dom) {
+    const GridPartition::Tile& t = tile_of(dom);
+    const int rows = std::max(
+        1, static_cast<int>(std::floor((t.y_hi - t.y_lo) / rh + 1e-6)));
+    return rows * (t.x_hi - t.x_lo);
+  };
+  auto violates = [&](std::uint32_t i) {
+    const GridPartition::Tile& t = tile_of(part->domain_of[i]);
+    const double hw = width_of(i) / 2.0;
+    const Point& p = pl->pos[i];
+    return p.x < t.x_lo + hw - kEps || p.x > t.x_hi - hw + kEps ||
+           p.y < t.y_lo + rh / 2.0 - kEps || p.y > t.y_hi - rh / 2.0 + kEps;
+  };
+
+  std::vector<double> used(static_cast<std::size_t>(ndom), 0.0);
+  for (std::uint32_t i = 0; i < nl.num_instances(); ++i)
+    used[static_cast<std::size_t>(part->domain_of[i])] += width_of(i);
+
+  std::vector<char> dirty(static_cast<std::size_t>(ndom), 0);
+  for (std::uint32_t i = 0; i < nl.num_instances(); ++i)
+    if (violates(i)) dirty[static_cast<std::size_t>(part->domain_of[i])] = 1;
+
+  int fixed = 0;
+  // Each pass legalizes every dirty tile; shedding marks the receiver
+  // dirty, so a few passes can cascade. 4*ndom bounds the cascade.
+  for (int round = 0; round < 4 * ndom; ++round) {
+    int dom = -1;
+    for (int d = 0; d < ndom; ++d)
+      if (dirty[static_cast<std::size_t>(d)]) {
+        dom = d;
+        break;
+      }
+    if (dom < 0) break;
+
+    // A tile whose cells outgrew its rows cannot be legalized in
+    // place: shed the cells closest to the least-utilized neighboring
+    // tile into it first (it is marked dirty and fixed up next).
+    while (used[static_cast<std::size_t>(dom)] >
+           0.98 * capacity(dom)) {
+      int recv = -1;
+      double best_spare = 0.0;
+      const int tx = dom % cfg.nx, ty = dom / cfg.nx;
+      const int nbs[] = {tx > 0 ? dom - 1 : -1,
+                         tx + 1 < cfg.nx ? dom + 1 : -1,
+                         ty > 0 ? dom - cfg.nx : -1,
+                         ty + 1 < cfg.ny ? dom + cfg.nx : -1};
+      for (const int nb : nbs) {
+        if (nb < 0) continue;
+        const double spare =
+            0.95 * capacity(nb) - used[static_cast<std::size_t>(nb)];
+        if (spare > best_spare) {
+          best_spare = spare;
+          recv = nb;
+        }
+      }
+      if (recv < 0) break;  // nowhere to shed; let the legalizer try
+      const GridPartition::Tile& rt = tile_of(recv);
+      const Point rc{(rt.x_lo + rt.x_hi) / 2.0, (rt.y_lo + rt.y_hi) / 2.0};
+      std::vector<std::uint32_t> members;
+      for (std::uint32_t i = 0; i < nl.num_instances(); ++i)
+        if (part->domain_of[i] == dom) members.push_back(i);
+      std::sort(members.begin(), members.end(),
+                [&](std::uint32_t a, std::uint32_t b) {
+                  auto d2 = [&](std::uint32_t k) {
+                    const double dx = pl->pos[k].x - rc.x;
+                    const double dy = pl->pos[k].y - rc.y;
+                    return dx * dx + dy * dy;
+                  };
+                  return d2(a) < d2(b);
+                });
+      double need = used[static_cast<std::size_t>(dom)] -
+                    0.95 * capacity(dom);
+      need = std::min(need, best_spare);
+      bool moved = false;
+      for (const std::uint32_t i : members) {
+        if (need <= 0.0) break;
+        const double w = width_of(i);
+        part->domain_of[i] = recv;
+        used[static_cast<std::size_t>(dom)] -= w;
+        used[static_cast<std::size_t>(recv)] += w;
+        need -= w;
+        moved = true;
+      }
+      if (!moved) break;
+      dirty[static_cast<std::size_t>(recv)] = 1;
+    }
+
+    std::vector<bool> movable(nl.num_instances(), false);
+    bool any = false;
+    for (std::uint32_t i = 0; i < nl.num_instances(); ++i)
+      if (part->domain_of[i] == dom) {
+        movable[i] = true;
+        any = true;
+      }
+    dirty[static_cast<std::size_t>(dom)] = 0;
+    if (!any) continue;
+    const GridPartition::Tile& t = tile_of(dom);
+    const std::vector<Point> legal = LegalizeRows(
+        nl, lib, pl->pos, movable, t.x_lo, t.x_hi, t.y_lo, t.y_hi, rh);
+    for (std::uint32_t i = 0; i < nl.num_instances(); ++i)
+      if (movable[i]) pl->pos[i] = legal[i];
+    ++fixed;
+  }
+  return fixed;
+}
+
 }  // namespace adq::place

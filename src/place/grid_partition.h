@@ -83,4 +83,19 @@ Placement ApplyPartition(const netlist::Netlist& nl,
                          const tech::CellLibrary& lib, const Placement& pl,
                          const GridPartition& part);
 
+/// Incremental post-ECO legalization. Sizing ECOs run *after*
+/// ApplyPartition and change cell widths, so a boundary cell that was
+/// legal when legalized can outgrow its domain tile and protrude into
+/// the guardband (lint rule FL002 catches this). Re-runs the row
+/// legalizer for exactly the tiles that contain a protruding cell;
+/// every other tile keeps its placement bit-identical. If upsizing
+/// made a tile's cells genuinely exceed its row capacity, the cells
+/// closest to the least-utilized neighboring tile are shed into it
+/// (updating part->domain_of) until the tile fits — the same density
+/// escape a real incremental placer performs. Returns the number of
+/// tiles re-legalized.
+int RelegalizeViolations(const netlist::Netlist& nl,
+                         const tech::CellLibrary& lib, GridPartition* part,
+                         Placement* pl);
+
 }  // namespace adq::place

@@ -157,12 +157,11 @@ std::vector<double> CellSignificance(const Netlist& nl) {
 
 }  // namespace
 
-std::vector<Point> LegalizeRows(const Netlist& nl,
-                                const tech::CellLibrary& lib,
-                                const std::vector<Point>& target,
-                                const std::vector<bool>& movable,
-                                double x_lo, double x_hi, double y_lo,
-                                double y_hi, double row_height_um) {
+bool TryLegalizeRows(const Netlist& nl, const tech::CellLibrary& lib,
+                     const std::vector<Point>& target,
+                     const std::vector<bool>& movable, double x_lo,
+                     double x_hi, double y_lo, double y_hi,
+                     double row_height_um, std::vector<Point>* result) {
   ADQ_CHECK(target.size() == nl.num_instances());
   // Epsilon guards against losing a row to floating-point (tile
   // heights are exact row multiples by construction).
@@ -223,9 +222,24 @@ std::vector<Point> LegalizeRows(const Netlist& nl,
   };
 
   for (const double f : {1.0, 0.8, 0.6, 0.4, 0.0}) {
-    if (attempt(f)) return out;
+    if (attempt(f)) {
+      *result = std::move(out);
+      return true;
+    }
   }
-  ADQ_CHECK_MSG(false,
+  return false;
+}
+
+std::vector<Point> LegalizeRows(const Netlist& nl,
+                                const tech::CellLibrary& lib,
+                                const std::vector<Point>& target,
+                                const std::vector<bool>& movable,
+                                double x_lo, double x_hi, double y_lo,
+                                double y_hi, double row_height_um) {
+  std::vector<Point> out;
+  const bool ok = TryLegalizeRows(nl, lib, target, movable, x_lo, x_hi,
+                                  y_lo, y_hi, row_height_um, &out);
+  ADQ_CHECK_MSG(ok,
                 "legalization overflow: cell area exceeds row capacity in ["
                     << x_lo << ", " << x_hi << "] x [" << y_lo << ", "
                     << y_hi << "]");

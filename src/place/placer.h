@@ -52,6 +52,17 @@ std::vector<Point> LegalizeRows(
     double x_lo, double x_hi, double y_lo, double y_hi,
     double row_height_um);
 
+/// Like LegalizeRows, but reports overflow (cell area exceeding the
+/// region's row capacity) by returning false instead of failing a
+/// check; `*out` is only written on success. Callers that can recover
+/// — e.g. by shedding cells to a neighboring domain tile — use this.
+bool TryLegalizeRows(const netlist::Netlist& nl,
+                     const tech::CellLibrary& lib,
+                     const std::vector<Point>& target,
+                     const std::vector<bool>& movable, double x_lo,
+                     double x_hi, double y_lo, double y_hi,
+                     double row_height_um, std::vector<Point>* out);
+
 /// Total half-perimeter wirelength of the placement [um].
 double TotalHpwl(const netlist::Netlist& nl, const Placement& pl);
 
