@@ -104,6 +104,17 @@ CaseAnalysis::CaseAnalysis(const Netlist& nl,
 
   for (const LogicV v : values_)
     if (v != LogicV::kX) ++num_constant_;
+
+  // FNV-1a over the resolved per-net values. The object is immutable
+  // after construction, so the digest is computed once here; callers
+  // that cache derived state (sta::IncrementalSta) compare digests
+  // instead of object addresses, which stack reuse can alias.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const LogicV v : values_) {
+    h ^= static_cast<std::uint8_t>(v);
+    h *= 0x100000001b3ULL;
+  }
+  fingerprint_ = h ^ values_.size();
 }
 
 }  // namespace adq::netlist

@@ -49,9 +49,17 @@ class CaseAnalysis {
   /// Number of nets proven constant.
   std::size_t num_constant() const { return num_constant_; }
 
+  /// Content digest of the resolved per-net values, computed once at
+  /// construction. Two analyses with equal digests disable the same
+  /// nets — the identity sta::IncrementalSta keys its cached arrival
+  /// state on (object addresses are unreliable: a stack-allocated
+  /// analysis can reuse the address of a destroyed one).
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
  private:
   std::vector<LogicV> values_;
   std::size_t num_constant_ = 0;
+  std::uint64_t fingerprint_ = 0;
 };
 
 /// Evaluates one cell in three-valued logic by enumerating the X

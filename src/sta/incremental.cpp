@@ -1,0 +1,467 @@
+#include "sta/incremental.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "netlist/topo.h"
+#include "obs/metrics.h"
+
+namespace adq::sta {
+
+using netlist::InstId;
+using netlist::NetId;
+using netlist::Netlist;
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+IncrementalSta::IncrementalSta(const Netlist& nl,
+                               const tech::CellLibrary& lib,
+                               const place::NetLoads& loads)
+    : nl_(nl), lib_(lib), loads_(loads) {
+  Relevelize();
+}
+
+void IncrementalSta::Relevelize() {
+  oracle_ = std::make_unique<TimingAnalyzer>(nl_, lib_, loads_);
+  order_.clear();
+  seq_.clear();
+  for (const InstId id : netlist::TopologicalOrder(nl_)) {
+    const netlist::Instance& inst = nl_.inst(id);
+    if (inst.is_sequential())
+      seq_.push_back(id.value);
+    else if (!tech::IsTie(inst.kind))
+      order_.push_back(id);
+  }
+  pos_of_.assign(nl_.num_instances(), 0);
+  for (std::size_t p = 0; p < order_.size(); ++p)
+    pos_of_[order_[p].index()] = static_cast<std::uint32_t>(p);
+  net_epoch_.assign(nl_.num_nets(), 0);
+  inst_epoch_.assign(nl_.num_instances(), 0);
+  row_of_.assign(nl_.num_nets(), 0);
+  dirty_lanes_.assign(nl_.num_nets(), 0);
+  epoch_ = 0;
+  nl_version_ = nl_.version();
+  states_.clear();
+  ctx_valid_ = false;
+}
+
+void IncrementalSta::SetLoads(const place::NetLoads& loads) {
+  loads_ = loads;
+  oracle_->SetLoads(loads);
+  Invalidate();
+}
+
+/// Returns a (possibly recycled) base-state slot: reuses the least-
+/// recently-used entry once the pool is at kMaxBaseStates.
+IncrementalSta::BaseState& IncrementalSta::AllocState() {
+  if (states_.size() < kMaxBaseStates) {
+    states_.push_back(std::make_unique<BaseState>());
+    return *states_.back();
+  }
+  BaseState* lru = states_.front().get();
+  for (const auto& st : states_)
+    if (st->last_used < lru->last_used) lru = st.get();
+  return *lru;
+}
+
+double* IncrementalSta::Materialize(NetId n, std::size_t lanes) {
+  if (pool_used_ + lanes > pool_.size())
+    pool_.resize(std::max(pool_.size() * 2, pool_used_ + lanes));
+  const std::uint32_t off = static_cast<std::uint32_t>(pool_used_);
+  pool_used_ += lanes;
+  row_of_[n.index()] = off;
+  net_epoch_[n.index()] = epoch_;
+  dirty_lanes_[n.index()] = 0;
+  dirty_nets_.push_back(n);
+  return pool_.data() + off;
+}
+
+std::vector<TimingReport> IncrementalSta::FullTraversal(
+    double vdd, double clock_ns,
+    std::span<const std::uint32_t> lane_masks,
+    const std::vector<int>& domain_of_inst,
+    const netlist::CaseAnalysis* ca) {
+  std::vector<TimingReport> reports =
+      oracle_->AnalyzeBatch(vdd, clock_ns, lane_masks, domain_of_inst, ca);
+  // Seed a cached base point from lane 0 of the oracle's sweep: the
+  // stored arrivals are, by construction, exactly what any future
+  // full traversal of that mask under (vdd, ca) would produce.
+  const std::size_t W = lane_masks.size();
+  const std::span<const double> arr = oracle_->LastBatchArrivals();
+  BaseState& st = AllocState();
+  st.vdd = vdd;
+  st.has_ca = ca != nullptr;
+  st.ca_fingerprint = ca ? ca->fingerprint() : 0;
+  st.base_mask = lane_masks[0];
+  st.last_used = ++lru_tick_;
+  st.arrival.resize(nl_.num_nets());
+  for (std::size_t n = 0; n < nl_.num_nets(); ++n)
+    st.arrival[n] = arr[n * W];
+  return reports;
+}
+
+std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
+    double vdd, double clock_ns,
+    std::span<const std::uint32_t> lane_masks,
+    const std::vector<int>& domain_of_inst,
+    const netlist::CaseAnalysis* ca) {
+  ADQ_CHECK(domain_of_inst.size() == nl_.num_instances());
+  const std::size_t W = lane_masks.size();
+  ADQ_CHECK_MSG(W <= kMaxLanes,
+                "IncrementalSta lane limit is " << kMaxLanes);
+  ++stats_.calls;
+  stats_.lanes += static_cast<long>(W);
+  static obs::Counter& inc_calls = obs::GetCounter("sta.incremental_calls");
+  static obs::Counter& inc_lanes = obs::GetCounter("sta.incremental_lanes");
+  static obs::Counter& inc_hits = obs::GetCounter("sta.incremental_hits");
+  static obs::Counter& inc_falls = obs::GetCounter("sta.full_fallbacks");
+  static obs::Counter& cone_insts = obs::GetCounter("sta.cone_instances");
+  inc_calls.Add();
+  inc_lanes.Add(static_cast<long>(W));
+  if (W == 0) return {};
+
+  // Structure staleness: any netlist mutation (or RawAccess handout)
+  // since levelization voids the cached order and arrival states.
+  if (nl_.version() != nl_version_) Relevelize();
+  if (!ctx_valid_ || domain_of_inst != domain_of_) {
+    states_.clear();
+    domain_of_ = domain_of_inst;
+    ctx_valid_ = true;
+    // Per-domain member lists, in topological order, so a call seeds
+    // straight from the changed domains.
+    int nd = 1;
+    for (const int d : domain_of_) nd = std::max(nd, d + 1);
+    dom_comb_.assign(static_cast<std::size_t>(nd), {});
+    dom_seq_.assign(static_cast<std::size_t>(nd), {});
+    for (const InstId id : order_)
+      dom_comb_[static_cast<std::size_t>(domain_of_[id.index()])]
+          .push_back(id.value);
+    for (const std::uint32_t i : seq_)
+      dom_seq_[static_cast<std::size_t>(domain_of_[i])].push_back(i);
+  }
+
+  // Base-state lookup, keyed on (vdd, case analysis). clock_ns is
+  // deliberately absent from the key: arrivals don't depend on it,
+  // and the endpoint fold below re-applies it every call.
+  const std::uint64_t ca_fp = ca ? ca->fingerprint() : 0;
+  BaseState* st = nullptr;
+  for (const auto& cand : states_)
+    if (cand->vdd == vdd && cand->has_ca == (ca != nullptr) &&
+        cand->ca_fingerprint == ca_fp) {
+      st = cand.get();
+      break;
+    }
+  if (st == nullptr) {
+    ++stats_.full_fallbacks;
+    inc_falls.Add();
+    return FullTraversal(vdd, clock_ns, lane_masks, domain_of_inst, ca);
+  }
+  st->last_used = ++lru_tick_;
+  ++stats_.incremental_hits;
+  inc_hits.Add();
+  stats_.scanned_instances += static_cast<long>(order_.size());
+
+  auto net_active = [&](NetId n) {
+    return ca == nullptr || !ca->IsConstant(n);
+  };
+
+  // Per-lane delay multipliers, exactly the oracle's table.
+  int ndom = 1;
+  for (const int d : domain_of_inst) ndom = std::max(ndom, d + 1);
+  const double nobb = lib_.DelayScale(vdd, tech::BiasState::kNoBB);
+  const double fbb = lib_.DelayScale(vdd, tech::BiasState::kFBB);
+  scale_lanes_.resize(static_cast<std::size_t>(ndom) * W);
+  for (int d = 0; d < ndom; ++d)
+    for (std::size_t l = 0; l < W; ++l)
+      scale_lanes_[static_cast<std::size_t>(d) * W + l] =
+          ((lane_masks[l] >> d) & 1u) ? fbb : nobb;
+
+  // Which lanes disagree with the base mask, per domain. Mask bits at
+  // or above ndom don't reach any scale row, so they are ignored here
+  // exactly as the oracle ignores them.
+  const std::uint32_t dom_bits =
+      ndom >= 32 ? 0xffffffffu : ((1u << ndom) - 1u);
+  chg_dom_.assign(static_cast<std::size_t>(ndom), 0);
+  bool any_change = false;
+  for (std::size_t l = 0; l < W; ++l) {
+    std::uint32_t diff = (lane_masks[l] ^ st->base_mask) & dom_bits;
+    while (diff != 0u) {
+      const int d = std::countr_zero(diff);
+      chg_dom_[static_cast<std::size_t>(d)] |= 1ull << l;
+      diff &= diff - 1u;
+      any_change = true;
+    }
+  }
+
+  ++epoch_;
+  dirty_nets_.clear();
+  pool_used_ = 0;
+  if (in_arr_.size() < W) {
+    in_arr_.resize(W);
+    out_buf_.resize(W);
+  }
+
+  long visited = 0;
+  if (any_change) {
+    const DelayTables& tab = oracle_->tables();
+    // Hybrid propagation: small seed sets pop a topo-position heap
+    // (cost O(dirty cone)); when the changed domains already cover a
+    // sizable slice of the design, a linear sweep of the cached order
+    // is cheaper than heap churn. Either way every recomputed value
+    // is identical — only the discovery order differs, and instances
+    // are always processed in a valid topological order.
+    std::size_t seed_comb = 0;
+    for (std::size_t d = 0; d < chg_dom_.size(); ++d)
+      if (chg_dom_[d] != 0) seed_comb += dom_comb_[d].size();
+    const bool sweep = seed_comb * 4 >= order_.size();
+    heap_.clear();
+    auto push_sinks = [&](NetId n) {
+      if (sweep) return;  // the linear pass discovers readers itself
+      for (const netlist::PinRef& s : nl_.net(n).sinks) {
+        const std::uint32_t si = s.inst.value;
+        const netlist::Instance& sin = nl_.instances()[si];
+        if (sin.is_sequential() || tech::IsTie(sin.kind)) continue;
+        if (inst_epoch_[si] == epoch_) continue;
+        inst_epoch_[si] = epoch_;
+        heap_.push_back(pos_of_[si]);
+        std::push_heap(heap_.begin(), heap_.end(),
+                       std::greater<std::uint32_t>());
+      }
+    };
+
+    // Seeds: every member of a changed domain. Registers re-derive
+    // their clk->Q arrival (the same expression the oracle's launch
+    // loop uses); combinational members enter the worklist directly.
+    for (std::size_t d = 0; d < chg_dom_.size(); ++d) {
+      const std::uint64_t chg = chg_dom_[d];
+      if (chg == 0) continue;
+      if (!sweep) {
+        for (const std::uint32_t i : dom_comb_[d]) {
+          if (inst_epoch_[i] == epoch_) continue;
+          inst_epoch_[i] = epoch_;
+          heap_.push_back(pos_of_[i]);
+          std::push_heap(heap_.begin(), heap_.end(),
+                         std::greater<std::uint32_t>());
+        }
+      }
+      for (const std::uint32_t i : dom_seq_[d]) {
+        const netlist::Instance& inst = nl_.instances()[i];
+        const NetId q = inst.out[0];
+        if (!net_active(q)) continue;  // stays kNegInf, like the oracle
+        ++visited;
+        const double* m = &scale_lanes_[d * W];
+        const double base_q = st->arrival[q.index()];
+        std::uint64_t dm = 0;
+        for (std::uint64_t bits = chg; bits != 0; bits &= bits - 1) {
+          const int l = std::countr_zero(bits);
+          out_buf_[static_cast<std::size_t>(l)] =
+              tab.base_delay[2 * i] * m[l] + tab.wire_delay[2 * i];
+          if (out_buf_[static_cast<std::size_t>(l)] != base_q)
+            dm |= 1ull << l;
+        }
+        if (dm == 0) continue;  // converged: identical in every lane
+        double* row = Materialize(q, W);
+        for (std::size_t l = 0; l < W; ++l) row[l] = base_q;
+        for (std::uint64_t bits = chg; bits != 0; bits &= bits - 1) {
+          const int l = std::countr_zero(bits);
+          row[l] = out_buf_[static_cast<std::size_t>(l)];
+        }
+        dirty_lanes_[q.index()] = dm;
+        push_sinks(q);
+      }
+    }
+
+    // Cone-bounded propagation: recompute only instances with a
+    // changed multiplier or a dirty input, and only in the union of
+    // their dirty lanes. Everything else keeps its base arrival,
+    // which is bit-identical to what a full traversal would recompute
+    // for those lanes.
+    auto process = [&](const std::uint32_t i) {
+      const netlist::Instance& inst = nl_.instances()[i];
+      std::uint64_t need =
+          chg_dom_[static_cast<std::size_t>(domain_of_inst[i])];
+      for (int p = 0; p < inst.num_inputs(); ++p) {
+        const NetId in = inst.in[p];
+        if (net_epoch_[in.index()] == epoch_)
+          need |= dirty_lanes_[in.index()];
+      }
+      if (need == 0) return;
+      ++visited;
+      // Reachability is lane-invariant and unchanged since the base
+      // run (same case analysis), so the base arrivals decide the
+      // oracle's in_arr[0] == -inf skip.
+      double base_in = kNegInf;
+      for (int p = 0; p < inst.num_inputs(); ++p) {
+        const NetId in = inst.in[p];
+        if (!net_active(in)) continue;
+        base_in = std::max(base_in, st->arrival[in.index()]);
+      }
+      if (base_in == kNegInf) return;  // fully constant / unreachable
+
+      // Dense fast path when every lane is dirty: the straight lane
+      // streams of the batch kernel, same expressions, no bit scans.
+      const std::uint64_t full =
+          W == 64 ? ~0ull : ((1ull << W) - 1ull);
+      if (need == full) {
+        for (std::size_t l = 0; l < W; ++l) in_arr_[l] = kNegInf;
+        for (int p = 0; p < inst.num_inputs(); ++p) {
+          const NetId in = inst.in[p];
+          if (!net_active(in)) continue;
+          const double* a = RowOf(in);
+          if (a != nullptr) {
+            for (std::size_t l = 0; l < W; ++l)
+              in_arr_[l] = std::max(in_arr_[l], a[l]);
+          } else {
+            const double b = st->arrival[in.index()];
+            for (std::size_t l = 0; l < W; ++l)
+              in_arr_[l] = std::max(in_arr_[l], b);
+          }
+        }
+        const double* m =
+            &scale_lanes_[static_cast<std::size_t>(domain_of_inst[i]) *
+                          W];
+        for (int o = 0; o < inst.num_outputs(); ++o) {
+          const NetId out = inst.out[o];
+          if (!net_active(out)) continue;
+          const double base = tab.base_delay[2 * i + (std::size_t)o];
+          const double wire = tab.wire_delay[2 * i + (std::size_t)o];
+          const double base_o = st->arrival[out.index()];
+          std::uint64_t dm = 0;
+          for (std::size_t l = 0; l < W; ++l) {
+            out_buf_[l] = in_arr_[l] + base * m[l] + wire;
+            if (out_buf_[l] != base_o) dm |= 1ull << l;
+          }
+          if (dm == 0) continue;  // converged back to the base arrival
+          double* row = Materialize(out, W);
+          for (std::size_t l = 0; l < W; ++l) row[l] = out_buf_[l];
+          dirty_lanes_[out.index()] = dm;
+          push_sinks(out);
+        }
+        return;
+      }
+
+      for (std::uint64_t bits = need; bits != 0; bits &= bits - 1)
+        in_arr_[static_cast<std::size_t>(std::countr_zero(bits))] =
+            kNegInf;
+      for (int p = 0; p < inst.num_inputs(); ++p) {
+        const NetId in = inst.in[p];
+        if (!net_active(in)) continue;
+        const double* a = RowOf(in);
+        if (a != nullptr) {
+          for (std::uint64_t bits = need; bits != 0; bits &= bits - 1) {
+            const std::size_t l =
+                static_cast<std::size_t>(std::countr_zero(bits));
+            in_arr_[l] = std::max(in_arr_[l], a[l]);
+          }
+        } else {
+          const double b = st->arrival[in.index()];
+          for (std::uint64_t bits = need; bits != 0; bits &= bits - 1) {
+            const std::size_t l =
+                static_cast<std::size_t>(std::countr_zero(bits));
+            in_arr_[l] = std::max(in_arr_[l], b);
+          }
+        }
+      }
+      const double* m =
+          &scale_lanes_[static_cast<std::size_t>(domain_of_inst[i]) * W];
+      for (int o = 0; o < inst.num_outputs(); ++o) {
+        const NetId out = inst.out[o];
+        if (!net_active(out)) continue;
+        const double base = tab.base_delay[2 * i + (std::size_t)o];
+        const double wire = tab.wire_delay[2 * i + (std::size_t)o];
+        const double base_o = st->arrival[out.index()];
+        std::uint64_t dm = 0;
+        for (std::uint64_t bits = need; bits != 0; bits &= bits - 1) {
+          const std::size_t l =
+              static_cast<std::size_t>(std::countr_zero(bits));
+          out_buf_[l] = in_arr_[l] + base * m[l] + wire;
+          if (out_buf_[l] != base_o) dm |= 1ull << l;
+        }
+        if (dm == 0) continue;  // converged back to the base arrival
+        double* row = Materialize(out, W);
+        for (std::size_t l = 0; l < W; ++l) row[l] = base_o;
+        for (std::uint64_t bits = need; bits != 0; bits &= bits - 1) {
+          const std::size_t l =
+              static_cast<std::size_t>(std::countr_zero(bits));
+          row[l] = out_buf_[l];
+        }
+        dirty_lanes_[out.index()] = dm;
+        push_sinks(out);
+      }
+    };
+    if (sweep) {
+      for (const InstId id : order_) process(id.value);
+    } else {
+      while (!heap_.empty()) {
+        std::pop_heap(heap_.begin(), heap_.end(),
+                      std::greater<std::uint32_t>());
+        const std::uint32_t pos = heap_.back();
+        heap_.pop_back();
+        process(order_[pos].value);
+      }
+    }
+  }
+  stats_.visited_instances += visited;
+  cone_insts.Add(visited);
+  static obs::HistogramMetric& cone_frac =
+      obs::GetHistogram("sta.cone_frac", 0.0, 1.0, 20);
+  if (!order_.empty())
+    cone_frac.Observe(static_cast<double>(visited) /
+                      static_cast<double>(order_.size() + seq_.size()));
+
+  // Capture fold: the oracle's endpoint expressions verbatim, reading
+  // each D net from its lane row when dirty and from the base state
+  // when not, grouped by domain so the scale row loads hoist. (The
+  // iteration order differs from the oracle's instance order, but min
+  // and the endpoint counts are exact order-independent folds.)
+  std::vector<TimingReport> reports(W);
+  const double* setup_ns = oracle_->tables().setup_ns.data();
+  for (std::size_t d = 0; d < dom_seq_.size(); ++d) {
+    const double* m = &scale_lanes_[d * W];
+    for (const std::uint32_t i : dom_seq_[d]) {
+      const netlist::Instance& inst = nl_.instances()[i];
+      const NetId dn = inst.in[0];
+      const double* row = RowOf(dn);
+      const double base_d = st->arrival[dn.index()];
+      if (!net_active(dn) ||
+          (row != nullptr ? row[0] : base_d) == kNegInf) {
+        for (std::size_t l = 0; l < W; ++l)
+          ++reports[l].num_disabled_endpoints;
+        continue;
+      }
+      const double setup_raw = setup_ns[i];
+      if (row != nullptr) {
+        for (std::size_t l = 0; l < W; ++l) {
+          TimingReport& rep = reports[l];
+          const double slack = clock_ns - setup_raw * m[l] - row[l];
+          rep.wns_ns = std::min(rep.wns_ns, slack);
+          ++rep.num_active_endpoints;
+          if (slack < 0.0) ++rep.num_violations;
+        }
+      } else {
+        for (std::size_t l = 0; l < W; ++l) {
+          TimingReport& rep = reports[l];
+          const double slack = clock_ns - setup_raw * m[l] - base_d;
+          rep.wns_ns = std::min(rep.wns_ns, slack);
+          ++rep.num_active_endpoints;
+          if (slack < 0.0) ++rep.num_violations;
+        }
+      }
+    }
+  }
+  for (TimingReport& rep : reports)
+    if (rep.num_active_endpoints == 0) rep.wns_ns = clock_ns;
+
+  // Advance this state's base point to the call's lane 0, scattering
+  // only the nets whose lane 0 actually moved.
+  for (const NetId n : dirty_nets_)
+    if (dirty_lanes_[n.index()] & 1ull)
+      st->arrival[n.index()] = pool_[row_of_[n.index()]];
+  st->base_mask = lane_masks[0];
+  return reports;
+}
+
+}  // namespace adq::sta

@@ -1,0 +1,178 @@
+#pragma once
+/// \file incremental.h
+/// \brief Incremental, cone-bounded batched STA.
+///
+/// The exhaustive (mask, VDD, BB) sweep — and every workload built on
+/// it (frontier exploration, runtime mode switching) — evaluates long
+/// runs of *neighboring* points: consecutive bias masks differ in a
+/// few domains, so only the fanout cones of those domains' cells can
+/// change arrival times. Real timers exploit exactly this locality
+/// (OpenSTA's incremental arrival update, VPR's timing resolver);
+/// IncrementalSta brings it to the multi-mask batch kernel:
+///
+///   * the netlist is levelized once (a cached combinational
+///     topological order) and per-net arrival state for a *base* mask
+///     is kept across calls — a small LRU pool of base points keyed
+///     by (VDD, case analysis), so schedules that interleave VDD rows
+///     or accuracy modes (the explorer does both) still hit;
+///   * a new batch of W lane masks is diffed against the base mask
+///     per lane; instances whose bias domain changed in some lane
+///     seed a dirty set, and arrivals are re-propagated only through
+///     the dirty fanout cones — and only in the dirty lanes;
+///   * re-propagation terminates early where recomputed arrivals
+///     converge back to their base values (reconvergent fanout whose
+///     max is dominated by an unchanged path);
+///   * dirty nets carry full W-lane SoA rows (clean lanes broadcast
+///     the base value), so the recomputation inner loops are the same
+///     mul/add/max lane streams as TimingAnalyzer::AnalyzeBatch.
+///
+/// Contract: AnalyzeBatch here is *bit-identical* to
+/// TimingAnalyzer::AnalyzeBatch for every call — same FP expressions,
+/// same fold order, per lane and per endpoint — regardless of the
+/// call history (pinned by tests/test_sta_incremental). Incremental
+/// reuse is a pure optimization: whenever the cached state cannot be
+/// proven valid (first call, VDD / clock / case-analysis / domain-map
+/// change, netlist structure version bump — e.g. a netlist::RawAccess
+/// handout), the engine falls back to one full traversal of the
+/// TimingAnalyzer oracle and re-seeds its state from it.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "netlist/case_analysis.h"
+#include "netlist/netlist.h"
+#include "place/wirelength.h"
+#include "sta/sta.h"
+#include "tech/cell_library.h"
+
+namespace adq::sta {
+
+/// Telemetry of one IncrementalSta instance. Hit/fallback counts
+/// depend on call order, so in a multi-worker explorer they are
+/// deterministic only at num_threads = 1; the *reports* are always
+/// bit-identical to the oracle.
+struct IncrementalStats {
+  long calls = 0;
+  long lanes = 0;              ///< total lane masks analyzed
+  long incremental_hits = 0;   ///< calls served from cached cone state
+  long full_fallbacks = 0;     ///< calls that ran a full traversal
+  long visited_instances = 0;  ///< instances recomputed on hits
+  long scanned_instances = 0;  ///< order length summed over hits
+};
+
+class IncrementalSta {
+ public:
+  /// Dirty-lane sets are 64-bit masks; wider batches must be chunked
+  /// by the caller (the explorer clamps its batch_width).
+  static constexpr std::size_t kMaxLanes = 64;
+
+  IncrementalSta(const netlist::Netlist& nl, const tech::CellLibrary& lib,
+                 const place::NetLoads& loads);
+
+  /// Re-extracts delay tables after parasitics changed; invalidates
+  /// the cached arrival state (next call is a full traversal).
+  void SetLoads(const place::NetLoads& loads);
+
+  /// Drops all cached arrival states (next calls run full traversals).
+  void Invalidate() {
+    states_.clear();
+    ctx_valid_ = false;
+  }
+
+  /// Batched STA over W = lane_masks.size() <= kMaxLanes back-bias
+  /// masks. Semantics and report layout are exactly
+  /// TimingAnalyzer::AnalyzeBatch — bit-identical, lane for lane —
+  /// but the work is proportional to the dirty fanout cones of the
+  /// domains whose bias changed since the previous call when the
+  /// cached state is reusable.
+  std::vector<TimingReport> AnalyzeBatch(
+      double vdd, double clock_ns,
+      std::span<const std::uint32_t> lane_masks,
+      const std::vector<int>& domain_of_inst,
+      const netlist::CaseAnalysis* ca = nullptr);
+
+  const IncrementalStats& stats() const { return stats_; }
+  const netlist::Netlist& nl() const { return nl_; }
+
+  /// The full-traversal engine backing the fallback path (exposed so
+  /// callers needing a scalar Analyze — e.g. the explorer's RBB sleep
+  /// pass — don't construct a second one).
+  TimingAnalyzer& oracle() { return *oracle_; }
+
+ private:
+  void Relevelize();
+  std::vector<TimingReport> FullTraversal(
+      double vdd, double clock_ns,
+      std::span<const std::uint32_t> lane_masks,
+      const std::vector<int>& domain_of_inst,
+      const netlist::CaseAnalysis* ca);
+  /// Lane row of a net materialized this call, or nullptr.
+  const double* RowOf(netlist::NetId n) const {
+    return net_epoch_[n.index()] == epoch_
+               ? pool_.data() + row_of_[n.index()]
+               : nullptr;
+  }
+  double* Materialize(netlist::NetId n, std::size_t lanes);
+
+  const netlist::Netlist& nl_;
+  const tech::CellLibrary& lib_;
+  place::NetLoads loads_;  // kept for rebuilds after structure bumps
+  std::unique_ptr<TimingAnalyzer> oracle_;
+
+  // Levelization cache (combinational topological order + register
+  // list), valid for netlist version nl_version_.
+  std::vector<netlist::InstId> order_;
+  std::vector<std::uint32_t> seq_;
+  std::uint64_t nl_version_ = 0;
+
+  /// One cached base point: the per-net arrivals of `base_mask` under
+  /// (vdd, case analysis). The engine keeps a small LRU pool of these
+  /// keyed by (vdd, ca) because sweep schedules interleave VDD rows
+  /// (the explorer walks every VDD within each popcount level); with
+  /// one slot every row switch would be a full fallback.
+  struct BaseState {
+    double vdd = 0.0;
+    bool has_ca = false;
+    std::uint64_t ca_fingerprint = 0;
+    std::uint32_t base_mask = 0;
+    std::uint64_t last_used = 0;  ///< LRU tick
+    std::vector<double> arrival;  ///< per net, arrivals of base_mask
+  };
+  static constexpr std::size_t kMaxBaseStates = 8;
+  BaseState& AllocState();
+
+  std::vector<std::unique_ptr<BaseState>> states_;
+  std::uint64_t lru_tick_ = 0;
+  // Shared context: a domain-map change invalidates every state.
+  bool ctx_valid_ = false;
+  std::vector<int> domain_of_;
+  // Per-domain instance lists (rebuilt with the context) so a call
+  // only touches the changed domains' members, never the full order.
+  std::vector<std::vector<std::uint32_t>> dom_comb_;
+  std::vector<std::vector<std::uint32_t>> dom_seq_;
+
+  // Per-call scratch: sparse SoA lane rows for dirty nets, plus a
+  // topo-position min-heap worklist so a hit costs O(dirty cone), not
+  // O(netlist) — seeds are the changed domains' members, and dirty
+  // nets enqueue their fanout as they materialize.
+  std::uint32_t epoch_ = 0;
+  std::vector<std::uint32_t> net_epoch_;   // per net
+  std::vector<std::uint32_t> row_of_;      // per net -> offset in pool_
+  std::vector<std::uint64_t> dirty_lanes_; // per net, valid via net_epoch_
+  std::vector<netlist::NetId> dirty_nets_;
+  std::vector<std::uint32_t> pos_of_;      // per inst -> index in order_
+  std::vector<std::uint32_t> inst_epoch_;  // per inst: queued this call
+  std::vector<std::uint32_t> heap_;        // pending topo positions
+  std::vector<double> pool_;               // materialized lane rows
+  std::size_t pool_used_ = 0;
+  std::vector<double> scale_lanes_;        // ndom x W
+  std::vector<double> in_arr_;             // W scratch
+  std::vector<double> out_buf_;            // W scratch
+  std::vector<std::uint64_t> chg_dom_;     // per domain: changed lanes
+
+  IncrementalStats stats_;
+};
+
+}  // namespace adq::sta

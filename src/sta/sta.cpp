@@ -28,23 +28,28 @@ TimingAnalyzer::TimingAnalyzer(const Netlist& nl,
   SetLoads(loads);
 }
 
-void TimingAnalyzer::SetLoads(const place::NetLoads& loads) {
-  ADQ_CHECK(loads.cap_ff.size() == nl_.num_nets());
-  base_delay_.assign(nl_.num_instances() * 2, 0.0);
-  wire_delay_.assign(nl_.num_instances() * 2, 0.0);
-  setup_ns_.assign(nl_.num_instances(), 0.0);
-  for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
-    const netlist::Instance& inst = nl_.instances()[i];
-    const tech::CellVariant& v = lib_.Variant(inst.kind, inst.drive);
-    setup_ns_[i] = v.setup_ns;
+void DelayTables::Build(const Netlist& nl, const tech::CellLibrary& lib,
+                        const place::NetLoads& loads) {
+  ADQ_CHECK(loads.cap_ff.size() == nl.num_nets());
+  base_delay.assign(nl.num_instances() * 2, 0.0);
+  wire_delay.assign(nl.num_instances() * 2, 0.0);
+  setup_ns.assign(nl.num_instances(), 0.0);
+  for (std::uint32_t i = 0; i < nl.num_instances(); ++i) {
+    const netlist::Instance& inst = nl.instances()[i];
+    const tech::CellVariant& v = lib.Variant(inst.kind, inst.drive);
+    setup_ns[i] = v.setup_ns;
     for (int o = 0; o < inst.num_outputs(); ++o) {
       const NetId out = inst.out[o];
-      base_delay_[2 * i + (std::size_t)o] =
+      base_delay[2 * i + (std::size_t)o] =
           v.d0_ns + v.kd_ns_per_ff * loads.cap_ff[out.index()];
-      wire_delay_[2 * i + (std::size_t)o] =
+      wire_delay[2 * i + (std::size_t)o] =
           loads.wire_delay_ns[out.index()];
     }
   }
+}
+
+void TimingAnalyzer::SetLoads(const place::NetLoads& loads) {
+  tab_.Build(nl_, lib_, loads);
 }
 
 /// The one arrival sweep behind every Analyze* entry point. `arr`
@@ -76,7 +81,7 @@ void TimingAnalyzer::PropagateArrivals(std::size_t lanes, double* arr,
     double* a = arr + q.index() * lanes;
     // clk->Q: intrinsic + load-dependent part, plus the Q net's wire.
     for (std::size_t l = 0; l < lanes; ++l)
-      a[l] = base_delay_[2 * i] * m[l] + wire_delay_[2 * i];
+      a[l] = tab_.base_delay[2 * i] * m[l] + tab_.wire_delay[2 * i];
   }
   for (const NetId pi : nl_.primary_inputs()) {
     if (!net_active(pi)) continue;
@@ -107,8 +112,8 @@ void TimingAnalyzer::PropagateArrivals(std::size_t lanes, double* arr,
       const NetId out = inst.out[o];
       if (!net_active(out)) continue;
       double* a = arr + out.index() * lanes;
-      const double base = base_delay_[2 * i + (std::size_t)o];
-      const double wire = wire_delay_[2 * i + (std::size_t)o];
+      const double base = tab_.base_delay[2 * i + (std::size_t)o];
+      const double wire = tab_.wire_delay[2 * i + (std::size_t)o];
       for (std::size_t l = 0; l < lanes; ++l)
         a[l] = in_arr[l] + base * m[l] + wire;
     }
@@ -144,7 +149,7 @@ TimingReport TimingAnalyzer::Analyze(
     if (!inst.is_sequential()) continue;
     const NetId d = inst.in[0];
     const int b = bias_of(i);
-    const double setup = setup_ns_[i] * scale[b];
+    const double setup = tab_.setup_ns[i] * scale[b];
     const double arr = arrival_[d.index()];
     const bool active = net_active(d) && arr != kNegInf;
     EndpointTiming ep;
@@ -172,6 +177,7 @@ std::vector<TimingReport> TimingAnalyzer::AnalyzeBatch(
     const netlist::CaseAnalysis* ca) {
   ADQ_CHECK(domain_of_inst.size() == nl_.num_instances());
   const std::size_t W = lane_masks.size();
+  last_batch_lanes_ = 0;
   std::vector<TimingReport> reports(W);
   if (W == 0) return reports;
   static obs::Counter& batch_calls = obs::GetCounter("sta.batch_calls");
@@ -194,6 +200,7 @@ std::vector<TimingReport> TimingAnalyzer::AnalyzeBatch(
           ((lane_masks[l] >> d) & 1u) ? fbb : nobb;
 
   arrival_lanes_.resize(nl_.num_nets() * W);
+  last_batch_lanes_ = W;
   PropagateArrivals(W, arrival_lanes_.data(), ca, [&](std::uint32_t i) {
     return &scale_lanes_[static_cast<std::size_t>(domain_of_inst[i]) * W];
   });
@@ -214,7 +221,7 @@ std::vector<TimingReport> TimingAnalyzer::AnalyzeBatch(
         ++rep.num_disabled_endpoints;
         continue;
       }
-      const double setup = setup_ns_[i] * m[l];
+      const double setup = tab_.setup_ns[i] * m[l];
       const double slack = clock_ns - setup - arr[l];
       rep.wns_ns = std::min(rep.wns_ns, slack);
       ++rep.num_active_endpoints;
@@ -243,7 +250,7 @@ TimingReport TimingAnalyzer::AnalyzeWithScales(
     const netlist::Instance& inst = nl_.instances()[i];
     if (!inst.is_sequential()) continue;
     const NetId d = inst.in[0];
-    const double setup = setup_ns_[i] * scale_of_inst[i];
+    const double setup = tab_.setup_ns[i] * scale_of_inst[i];
     const double arr = arrival_[d.index()];
     if (!net_active(d) || arr == kNegInf) {
       ++rep.num_disabled_endpoints;
@@ -287,7 +294,7 @@ TimingAnalyzer::DetailedTiming TimingAnalyzer::AnalyzeDetailed(
     if (!inst.is_sequential()) continue;
     const NetId d = inst.in[0];
     if (!net_active(d)) continue;
-    const double setup = setup_ns_[i] * scale[bias_of(i)];
+    const double setup = tab_.setup_ns[i] * scale[bias_of(i)];
     dt.required[d.index()] =
         std::min(dt.required[d.index()], clock_ns - setup);
   }
@@ -301,8 +308,8 @@ TimingAnalyzer::DetailedTiming TimingAnalyzer::AnalyzeDetailed(
       if (!net_active(out)) continue;
       req_in = std::min(req_in,
                         dt.required[out.index()] -
-                            base_delay_[2 * i + (std::size_t)o] * scale[b] -
-                            wire_delay_[2 * i + (std::size_t)o]);
+                            tab_.base_delay[2 * i + (std::size_t)o] * scale[b] -
+                            tab_.wire_delay[2 * i + (std::size_t)o]);
     }
     if (req_in == kPosInf) continue;
     for (int p = 0; p < inst.num_inputs(); ++p) {

@@ -60,6 +60,21 @@ struct TimingReport {
   bool feasible() const { return num_violations == 0; }
 };
 
+/// Precomputed load-dependent delay model shared by every STA engine
+/// (full-traversal TimingAnalyzer and cone-bounded IncrementalSta):
+/// per output pin, the unscaled cell delay `d0 + kd * Cload` plus the
+/// fixed Elmore wire term; per instance, the unscaled register setup.
+/// Rebuilt whenever parasitics change (SetLoads); everything VDD/Vth
+/// dependent stays outside, in the per-analysis scale factors.
+struct DelayTables {
+  std::vector<double> base_delay;  ///< 2 per instance (output pins)
+  std::vector<double> wire_delay;  ///< 2 per instance (output pins)
+  std::vector<double> setup_ns;    ///< per instance (registers only)
+
+  void Build(const netlist::Netlist& nl, const tech::CellLibrary& lib,
+             const place::NetLoads& loads);
+};
+
 class TimingAnalyzer {
  public:
   TimingAnalyzer(const netlist::Netlist& nl, const tech::CellLibrary& lib,
@@ -133,20 +148,29 @@ class TimingAnalyzer {
   const netlist::Netlist& nl() const { return nl_; }
   const tech::CellLibrary& lib() const { return lib_; }
 
+  /// The precomputed delay model (engine-support hook: IncrementalSta
+  /// shares these tables so its cone recomputation evaluates exactly
+  /// the expressions the full traversal would).
+  const DelayTables& tables() const { return tab_; }
+
+  /// Per-net arrival lanes of the most recent AnalyzeBatch call
+  /// (net n, lane l at [n * W + l]; valid until the next Analyze*).
+  /// Engine-support hook: IncrementalSta's full-traversal fallback
+  /// seeds its cached base state from lane 0 of this buffer.
+  std::span<const double> LastBatchArrivals() const {
+    return {arrival_lanes_.data(), last_batch_lanes_ * nl_.num_nets()};
+  }
+
  private:
   const netlist::Netlist& nl_;
   const tech::CellLibrary& lib_;
   std::vector<netlist::InstId> order_;  // topological, comb cells only
 
-  // Precomputed per output pin (flattened 2 per instance):
-  // base_delay = d0 + kd * Cload (to be scaled), wire = fixed term.
-  std::vector<double> base_delay_;
-  std::vector<double> wire_delay_;
-  // Unscaled setup time per instance (nonzero for registers only) —
-  // keeps lib_.Variant() lookups out of the per-analysis endpoint loop.
-  std::vector<double> setup_ns_;
+  // Precomputed unscaled delay model; see DelayTables.
+  DelayTables tab_;
 
   std::vector<double> arrival_;        // per net, scratch (W = 1)
+  std::size_t last_batch_lanes_ = 0;   // W of the last AnalyzeBatch
   std::vector<double> arrival_lanes_;  // per net x lane, batch scratch
   std::vector<double> lane_scratch_;   // W doubles, batch input-max
   std::vector<double> scale_lanes_;    // per domain x lane, batch scales

@@ -1,0 +1,373 @@
+/// Differential harness for the incremental cone-bounded STA engine
+/// (sta::IncrementalSta) against the full-traversal oracle
+/// (sta::TimingAnalyzer::AnalyzeBatch):
+///
+///   * property-based: randomized (mask, VDD, bitwidth) delta
+///     sequences across all four operator generators x widths
+///     {8, 16, 32}, with every step's reports compared bit-identical
+///     (==, not nearly-equal) against a fresh full traversal;
+///   * edge cases: zero-dirty repeats, all-dirty complements,
+///     single-cell cones via a fabricated domain map;
+///   * adversarial: revisit-after-revert (A -> B -> A), convergence
+///     early-exit on reconvergent fanout (a dominated side path whose
+///     re-propagation must stop at the reconvergence), and cache
+///     poisoning through netlist::RawAccess, which must be detected
+///     by the structure version and answered with a full fallback
+///     (checked against both IncrementalStats and the
+///     sta.full_fallbacks obs counter).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/accuracy.h"
+#include "core/flow.h"
+#include "gen/operator.h"
+#include "obs/metrics.h"
+#include "sta/incremental.h"
+#include "sta/sta.h"
+
+namespace adq {
+namespace {
+
+using netlist::NetId;
+
+const tech::CellLibrary& Lib() {
+  static const tech::CellLibrary lib;
+  return lib;
+}
+
+core::ImplementedDesign MakeDesign(gen::Operator op) {
+  core::FlowOptions fopt;
+  fopt.grid = {2, 2};
+  fopt.clock_ns = 0.55;
+  return core::RunImplementationFlow(std::move(op), Lib(), fopt);
+}
+
+void ExpectReportsIdentical(const sta::TimingReport& inc,
+                            const sta::TimingReport& oracle) {
+  EXPECT_EQ(inc.wns_ns, oracle.wns_ns);  // bit-identical, == compare
+  EXPECT_EQ(inc.num_violations, oracle.num_violations);
+  EXPECT_EQ(inc.num_active_endpoints, oracle.num_active_endpoints);
+  EXPECT_EQ(inc.num_disabled_endpoints, oracle.num_disabled_endpoints);
+}
+
+/// One engine call checked lane-for-lane against a *fresh* oracle
+/// traversal (`fresh` carries no state between calls by construction
+/// of AnalyzeBatch).
+void StepAndCheck(sta::IncrementalSta& eng, sta::TimingAnalyzer& fresh,
+                  double vdd, double clock_ns,
+                  const std::vector<std::uint32_t>& lanes,
+                  const std::vector<int>& domain_of,
+                  const netlist::CaseAnalysis* ca) {
+  const std::vector<sta::TimingReport> got =
+      eng.AnalyzeBatch(vdd, clock_ns, lanes, domain_of, ca);
+  const std::vector<sta::TimingReport> want =
+      fresh.AnalyzeBatch(vdd, clock_ns, lanes, domain_of, ca);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    SCOPED_TRACE("lane=" + std::to_string(l) +
+                 " mask=" + std::to_string(lanes[l]));
+    ExpectReportsIdentical(got[l], want[l]);
+  }
+}
+
+/// Randomized delta sequence on one design: mostly Hamming-small
+/// steps (the engine's intended workload) interleaved with context
+/// switches (VDD, bitwidth/case-analysis, full-random batches) that
+/// force fallbacks mid-sequence.
+void RunDifferentialSequence(const core::ImplementedDesign& d,
+                             std::uint64_t seed, int steps) {
+  sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
+  const std::uint32_t nmasks = 1u << d.num_domains();
+
+  std::mt19937 rng(static_cast<std::uint32_t>(seed));
+  std::uniform_int_distribution<std::uint32_t> mask_dist(0, nmasks - 1);
+  std::uniform_int_distribution<int> dom_dist(0, d.num_domains() - 1);
+  std::uniform_int_distribution<int> width_dist(1, 24);
+  std::uniform_int_distribution<int> pct(0, 99);
+  const std::vector<double> vdds = {1.0, 0.9, 0.8, 0.7, 0.6};
+
+  double vdd = vdds[rng() % vdds.size()];
+  int bw = d.op.spec.data_width;
+  auto make_ca = [&](int b) {
+    return std::make_unique<const netlist::CaseAnalysis>(
+        d.op.nl, core::ForcedZeros(d.op, b));
+  };
+  std::unique_ptr<const netlist::CaseAnalysis> ca = make_ca(bw);
+  bool use_ca = true;
+  std::uint32_t cur = mask_dist(rng);
+
+  for (int step = 0; step < steps; ++step) {
+    // ~15%: switch context (forces a full fallback).
+    if (pct(rng) < 15) {
+      switch (rng() % 3) {
+        case 0:
+          vdd = vdds[rng() % vdds.size()];
+          break;
+        case 1:
+          bw = 1 + static_cast<int>(rng() % static_cast<std::uint32_t>(
+                                              d.op.spec.data_width));
+          ca = make_ca(bw);
+          break;
+        default:
+          use_ca = !use_ca;
+          break;
+      }
+    }
+    const std::size_t W = static_cast<std::size_t>(width_dist(rng));
+    std::vector<std::uint32_t> lanes(W);
+    if (pct(rng) < 20) {
+      // Unstructured batch: no locality at all.
+      for (std::uint32_t& m : lanes) m = mask_dist(rng);
+    } else {
+      // Neighborhood batch: lanes within Hamming distance <= 2 of the
+      // walked base point.
+      for (std::uint32_t& m : lanes) {
+        m = cur ^ (1u << dom_dist(rng));
+        if (pct(rng) < 40) m ^= 1u << dom_dist(rng);
+      }
+    }
+    SCOPED_TRACE("step=" + std::to_string(step) + " vdd=" +
+                 std::to_string(vdd) + " bw=" + std::to_string(bw) +
+                 " W=" + std::to_string(W));
+    StepAndCheck(eng, fresh, vdd, d.clock_ns, lanes, d.domain_of(),
+                 use_ca ? ca.get() : nullptr);
+    cur = lanes[0];
+  }
+  // The sequence must actually have exercised the incremental path.
+  EXPECT_GT(eng.stats().incremental_hits, 0);
+  EXPECT_GT(eng.stats().full_fallbacks, 0);
+  EXPECT_EQ(eng.stats().calls,
+            eng.stats().incremental_hits + eng.stats().full_fallbacks);
+}
+
+struct GeneratorCase {
+  const char* name;
+  std::function<gen::Operator(int)> build;
+};
+
+const std::vector<GeneratorCase>& Generators() {
+  static const std::vector<GeneratorCase> gens = {
+      {"booth", [](int w) { return gen::BuildBoothOperator(w); }},
+      {"butterfly", [](int w) { return gen::BuildButterflyOperator(w); }},
+      {"fir_mac", [](int w) { return gen::BuildFirMacOperator(w); }},
+      {"array_mult", [](int w) { return gen::BuildArrayMultOperator(w); }},
+  };
+  return gens;
+}
+
+TEST(StaIncremental, DifferentialMatrixAllGeneratorsAllWidths) {
+  std::uint64_t seed = 20260808;
+  for (const GeneratorCase& g : Generators()) {
+    for (const int w : {8, 16, 32}) {
+      SCOPED_TRACE(std::string(g.name) + " width=" + std::to_string(w));
+      const core::ImplementedDesign d = MakeDesign(g.build(w));
+      RunDifferentialSequence(d, seed++, w == 32 ? 8 : 14);
+    }
+  }
+}
+
+TEST(StaIncremental, ZeroDirtyRepeatIsAHitAndVisitsNothing) {
+  const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
+  sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
+  const std::vector<std::uint32_t> lanes(6, 0x5u);  // all lanes == base
+  StepAndCheck(eng, fresh, 0.8, d.clock_ns, lanes, d.domain_of(),
+               nullptr);
+  ASSERT_EQ(eng.stats().full_fallbacks, 1);
+  StepAndCheck(eng, fresh, 0.8, d.clock_ns, lanes, d.domain_of(),
+               nullptr);
+  EXPECT_EQ(eng.stats().incremental_hits, 1);
+  EXPECT_EQ(eng.stats().visited_instances, 0);  // nothing was dirty
+}
+
+TEST(StaIncremental, AllDirtyComplementMatchesOracle) {
+  const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
+  sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
+  const std::uint32_t all = (1u << d.num_domains()) - 1u;
+  StepAndCheck(eng, fresh, 0.7, d.clock_ns, {0u}, d.domain_of(),
+               nullptr);
+  // Every domain flips in every lane: the dirty cone is the whole
+  // design, still bit-identical.
+  StepAndCheck(eng, fresh, 0.7, d.clock_ns, {all, all ^ 1u},
+               d.domain_of(), nullptr);
+  EXPECT_EQ(eng.stats().incremental_hits, 1);
+  EXPECT_GT(eng.stats().visited_instances, 0);
+}
+
+TEST(StaIncremental, SingleCellConeVisitsOneInstance) {
+  const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
+  const netlist::Netlist& nl = d.op.nl;
+  // Fabricated domain map: everything in domain 0 except one comb
+  // cell whose fanout is entirely capture D pins — the smallest
+  // possible cone.
+  std::int64_t lone = -1;
+  for (std::uint32_t i = 0; i < nl.num_instances(); ++i) {
+    const netlist::Instance& inst = nl.instances()[i];
+    if (inst.is_sequential() || tech::IsTie(inst.kind)) continue;
+    bool all_capture = true;
+    for (int o = 0; o < inst.num_outputs() && all_capture; ++o)
+      for (const netlist::PinRef s : nl.net(inst.out[o]).sinks)
+        if (!nl.inst(s.inst).is_sequential()) {
+          all_capture = false;
+          break;
+        }
+    if (all_capture) {
+      lone = i;
+      break;
+    }
+  }
+  ASSERT_GE(lone, 0) << "fixture has no leaf comb cell";
+  std::vector<int> domain_of(nl.num_instances(), 0);
+  domain_of[static_cast<std::size_t>(lone)] = 1;
+
+  sta::IncrementalSta eng(nl, Lib(), d.loads);
+  sta::TimingAnalyzer fresh(nl, Lib(), d.loads);
+  StepAndCheck(eng, fresh, 0.8, d.clock_ns, {0u}, domain_of, nullptr);
+  // Flip only domain 1: the lone cell is the entire dirty cone.
+  StepAndCheck(eng, fresh, 0.8, d.clock_ns, {2u}, domain_of, nullptr);
+  EXPECT_EQ(eng.stats().incremental_hits, 1);
+  EXPECT_EQ(eng.stats().visited_instances, 1);
+}
+
+TEST(StaIncremental, RevisitAfterRevertStaysIdentical) {
+  const core::ImplementedDesign d = MakeDesign(gen::BuildFirMacOperator(8));
+  sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
+  const std::uint32_t a = 0x3u, b = 0xCu;
+  // A -> B -> A: the revert must reproduce A's reports exactly even
+  // though the engine's base point has moved twice in between.
+  StepAndCheck(eng, fresh, 0.9, d.clock_ns, {a}, d.domain_of(),
+               nullptr);
+  const std::vector<sta::TimingReport> first =
+      eng.AnalyzeBatch(0.9, d.clock_ns, std::vector<std::uint32_t>{a},
+                       d.domain_of(), nullptr);
+  StepAndCheck(eng, fresh, 0.9, d.clock_ns, {b}, d.domain_of(),
+               nullptr);
+  StepAndCheck(eng, fresh, 0.9, d.clock_ns, {a}, d.domain_of(),
+               nullptr);
+  const std::vector<sta::TimingReport> again =
+      eng.AnalyzeBatch(0.9, d.clock_ns, std::vector<std::uint32_t>{a},
+                       d.domain_of(), nullptr);
+  ExpectReportsIdentical(again[0], first[0]);
+  EXPECT_EQ(eng.stats().full_fallbacks, 1);  // only the very first call
+}
+
+TEST(StaIncremental, ClockChangeReusesArrivalState) {
+  // Arrivals are clock-independent, so sweeping the clock must not
+  // cost fallbacks — and must still match the oracle at each clock.
+  const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
+  sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
+  StepAndCheck(eng, fresh, 0.8, 0.55, {0x1u}, d.domain_of(), nullptr);
+  for (const double t : {0.4, 0.55, 0.7, 1.0})
+    StepAndCheck(eng, fresh, 0.8, t, {0x1u, 0x3u}, d.domain_of(),
+                 nullptr);
+  EXPECT_EQ(eng.stats().full_fallbacks, 1);
+  EXPECT_EQ(eng.stats().incremental_hits, 4);
+}
+
+/// Reconvergent fanout with a dominated side path: DFF A's cone
+/// re-propagation must stop at the AND where the (much deeper) B path
+/// dominates the max, leaving the downstream chain unvisited.
+TEST(StaIncremental, ConvergenceEarlyExitOnReconvergentFanout) {
+  using tech::CellKind;
+  netlist::Netlist nl("reconv");
+  const NetId da = nl.AddInputPort("da");
+  const NetId db = nl.AddInputPort("db");
+  const NetId qa = nl.AddGate(CellKind::kDff, {da});  // inst 0, domain 1
+  const NetId qb = nl.AddGate(CellKind::kDff, {db});  // inst 1
+  // Deep dominating path from B: 6 buffers.
+  NetId x = qb;
+  for (int i = 0; i < 6; ++i) x = nl.AddGate(CellKind::kBuf, {x});
+  const NetId join = nl.AddGate(CellKind::kAnd2, {qa, x});
+  // Long downstream chain that must stay clean when the join
+  // converges.
+  NetId y = join;
+  for (int i = 0; i < 8; ++i) y = nl.AddGate(CellKind::kBuf, {y});
+  const NetId q_out = nl.AddGate(CellKind::kDff, {y});
+  nl.AddOutputPort("q", q_out);
+
+  place::NetLoads loads;
+  loads.cap_ff.assign(nl.num_nets(), 0.0);
+  loads.wire_delay_ns.assign(nl.num_nets(), 0.0);
+  std::vector<int> domain_of(nl.num_instances(), 0);
+  domain_of[0] = 1;  // only DFF A reacts to bit 1
+
+  sta::IncrementalSta eng(nl, Lib(), loads);
+  sta::TimingAnalyzer fresh(nl, Lib(), loads);
+  const double clock = 1.0;
+  auto check = [&](std::uint32_t mask) {
+    const std::vector<std::uint32_t> lanes{mask};
+    const auto got = eng.AnalyzeBatch(0.9, clock, lanes, domain_of);
+    const auto want = fresh.AnalyzeBatch(0.9, clock, lanes, domain_of);
+    ExpectReportsIdentical(got[0], want[0]);
+  };
+  check(0u);
+  check(2u);  // speed up A only: join's max still comes from the B path
+  EXPECT_EQ(eng.stats().incremental_hits, 1);
+  // Visited: the re-launched DFF A and the AND join where the change
+  // dies — none of the 8 downstream buffers.
+  EXPECT_EQ(eng.stats().visited_instances, 2);
+}
+
+TEST(StaIncremental, RawAccessCorruptionForcesFullFallback) {
+  obs::EnableMetrics(true);
+  obs::ResetMetrics();
+  core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
+  netlist::Netlist& nl = d.op.nl;
+  sta::IncrementalSta eng(nl, Lib(), d.loads);
+  sta::TimingAnalyzer fresh(nl, Lib(), d.loads);
+
+  StepAndCheck(eng, fresh, 0.8, d.clock_ns, {0x1u}, d.domain_of(),
+               nullptr);
+  StepAndCheck(eng, fresh, 0.8, d.clock_ns, {0x3u}, d.domain_of(),
+               nullptr);
+  ASSERT_EQ(eng.stats().full_fallbacks, 1);
+#ifndef ADQ_OBS_DISABLED
+  const long falls_before =
+      obs::SnapshotMetrics().counters.at("sta.full_fallbacks");
+#endif
+
+  // Touch the netlist through the raw backdoor. Even a swap-and-swap-
+  // back "edit" must void the cache: the engine can only see that
+  // mutable access was handed out, not what was done with it.
+  {
+    netlist::RawAccess raw(nl);
+    netlist::Instance& inst = raw.inst(netlist::InstId(0));
+    const tech::DriveStrength keep = inst.drive;
+    inst.drive = keep;
+  }
+  StepAndCheck(eng, fresh, 0.8, d.clock_ns, {0x3u}, d.domain_of(),
+               nullptr);
+  EXPECT_EQ(eng.stats().full_fallbacks, 2);
+#ifndef ADQ_OBS_DISABLED
+  EXPECT_EQ(obs::SnapshotMetrics().counters.at("sta.full_fallbacks"),
+            falls_before + 1);
+#endif
+  // And the engine keeps working incrementally afterwards.
+  StepAndCheck(eng, fresh, 0.8, d.clock_ns, {0x7u}, d.domain_of(),
+               nullptr);
+  EXPECT_EQ(eng.stats().full_fallbacks, 2);
+  obs::EnableMetrics(false);
+}
+
+TEST(StaIncremental, EmptyBatchAndWidthLimit) {
+  const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
+  sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  EXPECT_TRUE(eng.AnalyzeBatch(1.0, d.clock_ns, {}, d.domain_of()).empty());
+  const std::vector<std::uint32_t> too_wide(
+      sta::IncrementalSta::kMaxLanes + 1, 0u);
+  EXPECT_THROW(eng.AnalyzeBatch(1.0, d.clock_ns, too_wide, d.domain_of()),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace adq
