@@ -4,7 +4,11 @@
 /// BENCH_<name>.json emitter and observability plumbing every bench
 /// binary inherits (see InitObs / BenchJson below).
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <memory>
 #include <string>
 #include <thread>
@@ -78,23 +82,53 @@ inline void InitObs(int& argc, char** argv) {
   obs::Configure(o);
 }
 
+/// JSON string escaping for BenchJson: quotes, backslashes and
+/// control bytes (hostnames and build ids come from the environment,
+/// not from us — a hostname with a quote in it must not produce a
+/// malformed perf row).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline bool IsDirtyBuildId(const std::string& build) {
+  const std::string suf = "-dirty";
+  return build.empty() || build == "unknown" ||
+         (build.size() >= suf.size() &&
+          build.compare(build.size() - suf.size(), suf.size(), suf) == 0);
+}
+
 /// Minimal ordered JSON-object builder for the BENCH_<name>.json
 /// perf-trajectory files. Values are rendered on insertion; nested
 /// one-level arrays of objects cover the per-thread/per-design rows
-/// the harnesses emit. Write() stamps the benchmark name and the
-/// git-describable build id so a result can always be pinned to a
-/// commit.
+/// the harnesses emit. Write() stamps the schema-v2 provenance header
+/// (benchmark name, git-describable build id, UTC timestamp, host,
+/// hardware threads) so a result can always be pinned to a commit and
+/// compared against history by `benchdiff`.
 class BenchJson {
  public:
   BenchJson() = default;
 
   BenchJson& Str(const std::string& key, const std::string& v) {
-    std::string out;
-    for (const char c : v) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    fields_.emplace_back(key, "\"" + out + "\"");
+    fields_.emplace_back(key, "\"" + JsonEscape(v) + "\"");
     return *this;
   }
   BenchJson& Num(const std::string& key, double v) {
@@ -130,12 +164,12 @@ class BenchJson {
     for (const auto& [k, v] : fields_) {
       out += first ? "" : ", ";
       first = false;
-      out += "\"" + k + "\": " + v;
+      out += "\"" + JsonEscape(k) + "\": " + v;
     }
     for (const auto& [k, rows] : arrays_) {
       out += first ? "" : ", ";
       first = false;
-      out += "\"" + k + "\": [";
+      out += "\"" + JsonEscape(k) + "\": [";
       for (std::size_t i = 0; i < rows.size(); ++i) {
         if (i) out += ", ";
         out += rows[i]->Render();
@@ -147,11 +181,35 @@ class BenchJson {
   }
 
   /// Writes BENCH_<name>.json in the working directory with the
-  /// benchmark/build identity fields prepended.
+  /// schema-v2 provenance header prepended. When ADQ_BENCH_REQUIRE_CLEAN
+  /// is set (CI), a `-dirty`/unknown build id aborts loudly instead of
+  /// poisoning the history with an unpinnable row.
   bool Write(const std::string& bench_name) const {
+    const std::string build = ADQ_GIT_DESCRIBE;
+    if (const char* req = std::getenv("ADQ_BENCH_REQUIRE_CLEAN");
+        req && *req && std::string(req) != "0" && IsDirtyBuildId(build)) {
+      std::fprintf(stderr,
+                   "FATAL: bench %s has build id \"%s\" but "
+                   "ADQ_BENCH_REQUIRE_CLEAN is set.\n"
+                   "Configure with -DADQ_GIT_DESCRIBE=$(git describe "
+                   "--always --tags) from a clean checkout.\n",
+                   bench_name.c_str(), build.c_str());
+      std::exit(3);
+    }
+    char ts[32] = "";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc))
+      std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+    char host[256] = "";
+    if (gethostname(host, sizeof(host)) != 0) host[0] = '\0';
+    host[sizeof(host) - 1] = '\0';
     BenchJson doc;
-    doc.Str("bench", bench_name)
-        .Str("build", ADQ_GIT_DESCRIBE)
+    doc.Int("schema_version", 2)
+        .Str("bench", bench_name)
+        .Str("build", build)
+        .Str("ts_utc", ts)
+        .Str("host", host)
         .Int("hardware_threads",
              static_cast<long long>(std::thread::hardware_concurrency()));
     std::string body = doc.Render();

@@ -1,0 +1,243 @@
+/// benchdiff — bench-history bookkeeping and perf-regression gate.
+///
+/// The bench binaries each write a one-shot BENCH_<name>.json (schema
+/// v2: build id, UTC timestamp, host, hardware threads; see
+/// bench/common.h). benchdiff turns those into a trajectory and holds
+/// fresh runs to it:
+///
+///   benchdiff --add [--history=BENCH_HISTORY.jsonl] [dir|file...]
+///       Extract the pinned series from each BENCH_*.json and append
+///       one JSONL row per run to the history file. Refuses runs with
+///       a -dirty/unknown build id unless --allow-dirty is given.
+///
+///   benchdiff --gate [--history=...] [--window=N] [--k=X]
+///             [--rel-floor=X] [--any-host] [--allow-dirty]
+///             [dir|file...]
+///       Compare each BENCH_*.json against the newest comparable
+///       history rows (same bench, clean build, same host by default)
+///       using a median/MAD noise band. Exit 1 when any pinned series
+///       regressed, 0 otherwise (advisory verdicts — not enough
+///       comparable history — never fail), 2 on usage/IO errors.
+///
+/// With no dir/file operands, the current directory is scanned for
+/// BENCH_*.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/benchgate.h"
+#include "util/json.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using adq::obs::BenchRun;
+
+struct Args {
+  bool add = false;
+  bool gate = false;
+  std::string history = "BENCH_HISTORY.jsonl";
+  adq::obs::GateOptions gopt;
+  bool allow_dirty = false;
+  std::vector<std::string> inputs;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: benchdiff --add|--gate [--history=FILE] [--window=N]\n"
+      "                 [--min-baseline=N] [--k=X] [--rel-floor=X]\n"
+      "                 [--any-host] [--allow-dirty] [dir|file...]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&arg](const char* pfx) -> const char* {
+      const std::size_t n = std::strlen(pfx);
+      return arg.compare(0, n, pfx) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--add") {
+      a->add = true;
+    } else if (arg == "--gate") {
+      a->gate = true;
+    } else if (arg == "--allow-dirty") {
+      a->allow_dirty = true;
+      a->gopt.allow_dirty = true;
+    } else if (arg == "--any-host") {
+      a->gopt.same_host_only = false;
+    } else if (const char* v = val("--history=")) {
+      a->history = v;
+    } else if (const char* v = val("--window=")) {
+      a->gopt.window = std::atoi(v);
+    } else if (const char* v = val("--min-baseline=")) {
+      a->gopt.min_baseline = std::atoi(v);
+    } else if (const char* v = val("--k=")) {
+      a->gopt.k = std::atof(v);
+    } else if (const char* v = val("--rel-floor=")) {
+      a->gopt.rel_floor = std::atof(v);
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "benchdiff: unknown flag %s\n", arg.c_str());
+      return false;
+    } else {
+      a->inputs.push_back(arg);
+    }
+  }
+  if (a->add == a->gate) {
+    std::fprintf(stderr, "benchdiff: exactly one of --add/--gate required\n");
+    return false;
+  }
+  if (a->inputs.empty()) a->inputs.push_back(".");
+  return true;
+}
+
+/// Expands the dir/file operands into BENCH_*.json paths, sorted for
+/// deterministic processing order.
+std::vector<std::string> CollectInputs(const std::vector<std::string>& in) {
+  std::vector<std::string> out;
+  for (const std::string& p : in) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& e : fs::directory_iterator(p, ec)) {
+        const std::string name = e.path().filename().string();
+        if (e.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+            name.size() > 5 && name.compare(name.size() - 5, 5, ".json") == 0)
+          out.push_back(e.path().string());
+      }
+    } else {
+      out.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ReadFile(const std::string& path, std::string* body) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *body = ss.str();
+  return true;
+}
+
+/// Parses one BENCH_*.json into a run; false (with message already
+/// printed) on unreadable/unparseable/non-bench files.
+bool LoadRun(const std::string& path, BenchRun* run) {
+  std::string body;
+  if (!ReadFile(path, &body)) {
+    std::fprintf(stderr, "benchdiff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string err;
+  const adq::util::Json doc = adq::util::Json::Parse(body, &err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  if (!adq::obs::ExtractBenchRun(doc, run, &err)) {
+    std::fprintf(stderr, "benchdiff: %s: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  return true;
+}
+
+int DoAdd(const Args& a, const std::vector<std::string>& files) {
+  int appended = 0;
+  std::string rows;
+  for (const std::string& f : files) {
+    BenchRun run;
+    if (!LoadRun(f, &run)) return 2;
+    if (!a.allow_dirty && adq::obs::IsDirtyBuildId(run.build)) {
+      std::fprintf(stderr,
+                   "benchdiff: refusing %s: build id \"%s\" is dirty/unknown "
+                   "(use --allow-dirty to override)\n",
+                   f.c_str(), run.build.c_str());
+      return 2;
+    }
+    if (run.series.empty())
+      std::fprintf(stderr, "benchdiff: note: %s has no pinned series\n",
+                   f.c_str());
+    rows += adq::obs::RunToJsonLine(run) + "\n";
+    ++appended;
+  }
+  std::ofstream out(a.history, std::ios::app | std::ios::binary);
+  if (!out || !(out << rows).good()) {
+    std::fprintf(stderr, "benchdiff: cannot append to %s\n",
+                 a.history.c_str());
+    return 2;
+  }
+  std::printf("benchdiff: appended %d run(s) to %s\n", appended,
+              a.history.c_str());
+  return 0;
+}
+
+int DoGate(const Args& a, const std::vector<std::string>& files) {
+  std::string body;
+  if (!ReadFile(a.history, &body)) {
+    std::fprintf(stderr, "benchdiff: cannot read history %s\n",
+                 a.history.c_str());
+    return 2;
+  }
+  std::vector<std::string> errs;
+  const std::vector<BenchRun> history = adq::obs::LoadHistory(body, &errs);
+  for (const std::string& e : errs)
+    std::fprintf(stderr, "benchdiff: %s: %s\n", a.history.c_str(), e.c_str());
+
+  bool any_regression = false;
+  for (const std::string& f : files) {
+    BenchRun run;
+    if (!LoadRun(f, &run)) return 2;
+    const auto verdicts = adq::obs::GateRun(run, history, a.gopt);
+    for (const auto& v : verdicts) {
+      if (v.advisory) {
+        std::printf("ADVISORY %s/%s = %g (only %d comparable baseline "
+                    "row(s), need %d)\n",
+                    run.bench.c_str(), v.series.c_str(), v.value,
+                    v.baseline_n, a.gopt.min_baseline);
+      } else if (v.regressed) {
+        std::printf("REGRESSED %s/%s = %g vs band %g (baseline median %g "
+                    "over %d rows)\n",
+                    run.bench.c_str(), v.series.c_str(), v.value, v.band,
+                    v.median, v.baseline_n);
+      } else {
+        std::printf("OK %s/%s = %g (band %g, baseline median %g over %d "
+                    "rows)\n",
+                    run.bench.c_str(), v.series.c_str(), v.value, v.band,
+                    v.median, v.baseline_n);
+      }
+    }
+    any_regression |= adq::obs::AnyRegression(verdicts);
+  }
+  if (any_regression) {
+    std::printf("benchdiff: GATE FAILED\n");
+    return 1;
+  }
+  std::printf("benchdiff: gate passed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!ParseArgs(argc, argv, &a)) {
+    Usage();
+    return 2;
+  }
+  const std::vector<std::string> files = CollectInputs(a.inputs);
+  if (files.empty()) {
+    std::fprintf(stderr, "benchdiff: no BENCH_*.json inputs found\n");
+    return 2;
+  }
+  return a.add ? DoAdd(a, files) : DoGate(a, files);
+}

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <memory>
 
+#include "obs/openmetrics.h"
+
 namespace adq::obs {
 
 namespace {
@@ -13,7 +15,9 @@ void AppendNum(std::string& out, double v) {
   out += buf;
 }
 
-bool WriteFile(const std::string& path, const std::string& body) {
+// Only WriteMetrics (compiled out under ADQ_OBS_DISABLED) uses this.
+[[maybe_unused]] bool WriteFile(const std::string& path,
+                                const std::string& body) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) return false;
   const bool wrote = std::fwrite(body.data(), 1, body.size(), f) == body.size();
@@ -47,7 +51,9 @@ std::string MetricsSnapshot::ToJson() const {
     AppendNum(out, h.lo);
     out += ", \"hi\": ";
     AppendNum(out, h.hi);
-    out += ", \"total\": " + std::to_string(h.total) + ", \"counts\": [";
+    out += ", \"total\": " + std::to_string(h.total) + ", \"sum\": ";
+    AppendNum(out, h.sum);
+    out += ", \"counts\": [";
     for (std::size_t b = 0; b < h.counts.size(); ++b) {
       if (b) out += ", ";
       out += std::to_string(h.counts[b]);
@@ -156,6 +162,7 @@ MetricsSnapshot SnapshotMetrics() {
     out.lo = hist.bin_lo(0);
     out.hi = hist.bin_hi(hist.bins() - 1);
     out.total = hist.total();
+    out.sum = hist.sum();
     out.counts.reserve(static_cast<std::size_t>(hist.bins()));
     for (int b = 0; b < hist.bins(); ++b) out.counts.push_back(hist.count(b));
     snap.histograms[name] = std::move(out);
@@ -165,9 +172,15 @@ MetricsSnapshot SnapshotMetrics() {
 
 bool WriteMetrics(const std::string& path) {
   const MetricsSnapshot snap = SnapshotMetrics();
-  const bool csv =
-      path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
-  return WriteFile(path, csv ? snap.ToCsv() : snap.ToJson());
+  const auto has_suffix = [&](const char* suf) {
+    const std::string s(suf);
+    return path.size() >= s.size() &&
+           path.compare(path.size() - s.size(), s.size(), s) == 0;
+  };
+  if (has_suffix(".csv")) return WriteFile(path, snap.ToCsv());
+  if (has_suffix(".prom") || has_suffix(".om"))
+    return WriteFile(path, ToOpenMetrics(snap));
+  return WriteFile(path, snap.ToJson());
 }
 
 #endif  // ADQ_OBS_DISABLED

@@ -39,6 +39,7 @@ struct MetricsSnapshot {
   struct Histo {
     double lo = 0.0, hi = 0.0;
     long total = 0;
+    double sum = 0.0;  ///< sum of raw samples (util::Histogram::sum)
     std::vector<long> counts;
   };
   std::map<std::string, long> counters;

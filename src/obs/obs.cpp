@@ -25,6 +25,12 @@ Options OptionsFromEnv() {
   if (const char* t = std::getenv("ADQ_TRACE"); t && *t) o.trace_path = t;
   if (const char* m = std::getenv("ADQ_METRICS"); m && *m)
     o.metrics_path = m;
+  if (const char* i = std::getenv("ADQ_METRICS_INTERVAL_MS"); i && *i)
+    o.metrics_interval_ms = std::atoi(i);
+  if (const char* f = std::getenv("ADQ_PROFILE"); f && *f)
+    o.profile_path = f;
+  if (const char* hz = std::getenv("ADQ_PROFILE_HZ"); hz && *hz)
+    if (const int v = std::atoi(hz); v > 0) o.profile_hz = v;
   if (const char* p = std::getenv("ADQ_PROGRESS"); p && *p && *p != '0')
     o.enable_progress = true;
   return o;
@@ -37,6 +43,10 @@ bool ParseObsFlag(const char* arg, Options* opt) {
   }
   if (const char* v = FlagValue(arg, "--metrics=")) {
     opt->metrics_path = v;
+    return true;
+  }
+  if (const char* v = FlagValue(arg, "--profile=")) {
+    opt->profile_path = v;
     return true;
   }
   if (std::strcmp(arg, "--progress") == 0) {
@@ -66,6 +76,18 @@ void Configure(const Options& opt) {
     StopTracing();
   EnableMetrics(opt.enable_metrics || !opt.metrics_path.empty());
   EnableProgress(opt.enable_progress);
+  if (!opt.profile_path.empty()) {
+    ProfilerOptions popt;
+    popt.hz = opt.profile_hz;
+    if (!StartProfiler(popt) && !ProfilerRunning())
+      std::fprintf(stderr, "[adq] FAILED to start sampling profiler\n");
+  } else if (ProfilerRunning()) {
+    StopProfiler();
+  }
+  if (!opt.metrics_path.empty() && opt.metrics_interval_ms > 0)
+    StartMetricsPump(opt.metrics_path, opt.metrics_interval_ms);
+  else
+    StopMetricsPump();
 }
 
 void Flush() {
@@ -73,6 +95,18 @@ void Flush() {
   {
     std::lock_guard<std::mutex> lk(g_cfg_mu);
     cfg = g_cfg;
+  }
+  if (!cfg.profile_path.empty()) {
+    StopProfiler();
+    const ProfilerStats st = GetProfilerStats();
+    if (WriteFoldedProfile(cfg.profile_path))
+      std::fprintf(stderr,
+                   "[adq] profile written to %s (%ld samples, %ld "
+                   "dropped)\n",
+                   cfg.profile_path.c_str(), st.samples, st.dropped);
+    else
+      std::fprintf(stderr, "[adq] FAILED to write profile %s\n",
+                   cfg.profile_path.c_str());
   }
   if (!cfg.trace_path.empty()) {
     if (WriteTrace(cfg.trace_path))
@@ -82,7 +116,14 @@ void Flush() {
       std::fprintf(stderr, "[adq] FAILED to write trace %s\n",
                    cfg.trace_path.c_str());
   }
-  if (!cfg.metrics_path.empty()) {
+  // A running pump owns the metrics file; stopping it performs the
+  // final snapshot write (and never clobbers a .jsonl time series
+  // with a whole-file dump).
+  if (MetricsPumpRunning()) {
+    StopMetricsPump();
+    std::fprintf(stderr, "[adq] metrics pump final snapshot in %s\n",
+                 cfg.metrics_path.c_str());
+  } else if (!cfg.metrics_path.empty()) {
     if (WriteMetrics(cfg.metrics_path))
       std::fprintf(stderr, "[adq] metrics written to %s\n",
                    cfg.metrics_path.c_str());

@@ -9,8 +9,15 @@
 ///
 ///   Environment   ADQ_TRACE=<file>    enable tracing, dump on Flush
 ///                 ADQ_METRICS=<file>  enable metrics, dump on Flush
+///                 ADQ_METRICS_INTERVAL_MS=<ms>  periodic snapshot
+///                                     pump to the metrics file (see
+///                                     openmetrics.h)
+///                 ADQ_PROFILE=<file>  sampling profiler, folded
+///                                     stacks dumped on Flush
+///                 ADQ_PROFILE_HZ=<n>  sampling rate (default 997)
 ///                 ADQ_PROGRESS=1      rate-limited stderr progress
-///   Flags         --trace=<file> --metrics=<file> --progress
+///   Flags         --trace=<file> --metrics=<file> --profile=<file>
+///                 --progress
 ///
 /// A binary opts in with three calls:
 ///
@@ -27,6 +34,8 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/openmetrics.h"
+#include "obs/profiler.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
 
@@ -35,15 +44,20 @@ namespace adq::obs {
 struct Options {
   std::string trace_path;    ///< empty = tracing off
   std::string metrics_path;  ///< empty = no metrics dump on Flush
+  std::string profile_path;  ///< empty = sampling profiler off
+  int profile_hz = 997;      ///< sampling rate when profiling
+  int metrics_interval_ms = 0;  ///< >0 = periodic snapshot pump
   bool enable_metrics = false;  ///< collect even without a dump path
   bool enable_progress = false;
 };
 
-/// Reads ADQ_TRACE / ADQ_METRICS / ADQ_PROGRESS.
+/// Reads ADQ_TRACE / ADQ_METRICS / ADQ_METRICS_INTERVAL_MS /
+/// ADQ_PROFILE / ADQ_PROFILE_HZ / ADQ_PROGRESS.
 Options OptionsFromEnv();
 
-/// Consumes one obs flag (--trace=, --metrics=, --progress) into
-/// `opt`; returns false (arg untouched) for anything else.
+/// Consumes one obs flag (--trace=, --metrics=, --profile=,
+/// --progress) into `opt`; returns false (arg untouched) for
+/// anything else.
 bool ParseObsFlag(const char* arg, Options* opt);
 
 /// Applies `opt` to the global gates (idempotent; also remembers the

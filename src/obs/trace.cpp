@@ -139,6 +139,9 @@ void ResetTracing() {
 }
 
 void NameThisThreadLane(const std::string& name) {
+  // The profiler labels sample lanes independently of tracing, so a
+  // `--profile`-only run still shows `explore worker N` roots.
+  if (ProfilerEnabled()) SetProfLane(name);
   if (!TraceEnabled()) return;
   ThreadBuf& b = BufForThisThread();
   std::lock_guard<std::mutex> lk(b.mu);

@@ -24,6 +24,8 @@
 
 #include <string>
 
+#include "obs/profiler.h"
+
 #ifndef ADQ_OBS_DISABLED
 #include <atomic>
 #include <cstdint>
@@ -74,6 +76,9 @@ bool WriteTrace(const std::string& path);
 /// RAII span: records one complete event covering its lifetime on the
 /// calling thread's lane. `detail` (optional) lands in args.detail.
 /// When tracing is off at construction, the span is fully inert.
+/// While the sampling profiler runs, the span name is also pushed on
+/// the thread's attribution stack so samples taken inside it carry
+/// the span as a synthetic profile frame (see profiler.h).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name) : name_(name) {
@@ -81,11 +86,13 @@ class TraceSpan {
       active_ = true;
       t0_ns_ = detail::NowNs();
     }
+    prof_pushed_ = PushProfSpan(name);
   }
   TraceSpan(const char* name, std::string det) : TraceSpan(name) {
     if (active_) detail_ = std::move(det);
   }
   ~TraceSpan() {
+    if (prof_pushed_) PopProfSpan();
     if (active_)
       detail::AppendComplete(name_, t0_ns_, detail::NowNs(),
                              std::move(detail_));
@@ -98,6 +105,7 @@ class TraceSpan {
   std::string detail_;
   std::int64_t t0_ns_ = 0;
   bool active_ = false;
+  bool prof_pushed_ = false;
 };
 
 #else  // ADQ_OBS_DISABLED

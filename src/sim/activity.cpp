@@ -298,6 +298,10 @@ std::vector<ActivityProfile> ExtractActivityBatch(
   }
   cache_hits.Add(hits);
   cache_misses.Add(static_cast<std::uint64_t>(missing.size()));
+  static obs::Gauge& hit_rate = obs::GetGauge("sim.activity_cache_hit_rate");
+  if (const long total = cache_hits.value() + cache_misses.value();
+      total > 0)
+    hit_rate.Set(static_cast<double>(cache_hits.value()) / total);
   return out;
 }
 

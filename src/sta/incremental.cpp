@@ -119,6 +119,7 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
   static obs::Counter& inc_hits = obs::GetCounter("sta.incremental_hits");
   static obs::Counter& inc_falls = obs::GetCounter("sta.full_fallbacks");
   static obs::Counter& cone_insts = obs::GetCounter("sta.cone_instances");
+  static obs::Gauge& fallback_rate = obs::GetGauge("sta.full_fallback_rate");
   inc_calls.Add();
   inc_lanes.Add(static_cast<long>(W));
   if (W == 0) return {};
@@ -157,11 +158,15 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
   if (st == nullptr) {
     ++stats_.full_fallbacks;
     inc_falls.Add();
+    if (const long calls = inc_calls.value(); calls > 0)
+      fallback_rate.Set(static_cast<double>(inc_falls.value()) / calls);
     return FullTraversal(vdd, clock_ns, lane_masks, domain_of_inst, ca);
   }
   st->last_used = ++lru_tick_;
   ++stats_.incremental_hits;
   inc_hits.Add();
+  if (const long calls = inc_calls.value(); calls > 0)
+    fallback_rate.Set(static_cast<double>(inc_falls.value()) / calls);
   stats_.scanned_instances += static_cast<long>(order_.size());
 
   auto net_active = [&](NetId n) {

@@ -22,6 +22,29 @@ int Histogram::BinOf(double sample) const {
 void Histogram::Add(double sample) {
   ++counts_[static_cast<std::size_t>(BinOf(sample))];
   ++total_;
+  sum_ += sample;
+}
+
+double Histogram::Quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  long cum = 0;
+  for (int b = 0; b < bins(); ++b) {
+    const long c = counts_[static_cast<std::size_t>(b)];
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      // q=0 lands exactly on this bin's lower edge (target <= cum).
+      const double within =
+          std::max(0.0, target - static_cast<double>(cum));
+      return bin_lo(b) + width_ * (within / static_cast<double>(c));
+    }
+    cum += c;
+  }
+  // q=1 (or rounding): upper edge of the last non-empty bin.
+  for (int b = bins() - 1; b >= 0; --b)
+    if (counts_[static_cast<std::size_t>(b)] > 0) return bin_hi(b);
+  return lo_;
 }
 
 double Histogram::bin_lo(int b) const { return lo_ + b * width_; }

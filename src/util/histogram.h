@@ -25,9 +25,22 @@ class Histogram {
   double bin_hi(int b) const;
   long count(int b) const;
   long total() const { return total_; }
+  /// Sum of the raw samples (pre-clamping), so mean = sum/total is
+  /// exact even when outliers were clamped into the edge bins — the
+  /// `_sum` line an OpenMetrics histogram exposes.
+  double sum() const { return sum_; }
 
   /// Index of the bin a sample would fall in (after clamping).
   int BinOf(double sample) const;
+
+  /// Interpolated q-quantile (q in [0,1], clamped) of the *binned*
+  /// distribution: linear within the bin where the cumulative count
+  /// crosses q*total. Edge semantics, pinned by tests: an empty
+  /// histogram returns bin_lo(0); q=0 returns the first non-empty
+  /// bin's lower edge; q=1 the last non-empty bin's upper edge; and
+  /// because out-of-range samples clamp into the edge bins, the
+  /// result always lies inside [lo, hi].
+  double Quantile(double q) const;
 
   /// Render as rows "lo..hi : count ####" suitable for terminal output.
   /// Bins entirely below `violation_mark` are flagged (the paper marks
@@ -38,6 +51,7 @@ class Histogram {
   double lo_, hi_, width_;
   std::vector<long> counts_;
   long total_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace adq::util

@@ -1,0 +1,289 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace adq::util {
+
+const Json* Json::Get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : fields_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json* Json::GetPath(const std::string& dotted) const {
+  const Json* cur = this;
+  std::size_t start = 0;
+  while (cur && start <= dotted.size()) {
+    const std::size_t dot = dotted.find('.', start);
+    const std::string key =
+        dotted.substr(start, dot == std::string::npos ? dot : dot - start);
+    cur = cur->Get(key);
+    if (dot == std::string::npos) return cur;
+    start = dot + 1;
+  }
+  return cur;
+}
+
+class JsonParser {
+ public:
+  JsonParser(const std::string& s, std::string* error)
+      : s_(s), error_(error) {}
+
+  Json Run() {
+    Json root;
+    SkipWs();
+    if (!ParseValue(root)) return Json();
+    SkipWs();
+    if (pos_ != s_.size()) {
+      Fail("trailing garbage");
+      return Json();
+    }
+    ok_ = true;
+    return root;
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  void Fail(const char* msg) {
+    if (error_ && error_->empty()) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "offset %zu: %s", pos_, msg);
+      *error_ = buf;
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool ParseValue(Json& out) {
+    if (pos_ >= s_.size()) {
+      Fail("unexpected end of input");
+      return false;
+    }
+    switch (s_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"':
+        out.kind_ = Json::Kind::kString;
+        return ParseString(out.str_);
+      case 't': return ParseLiteral("true", out, Json::Kind::kBool, true);
+      case 'f': return ParseLiteral("false", out, Json::Kind::kBool, false);
+      case 'n': return ParseLiteral("null", out, Json::Kind::kNull, false);
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(Json& out) {
+    out.kind_ = Json::Kind::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !ParseString(key)) {
+        Fail("expected object key string");
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        Fail("expected ':'");
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      Json value;
+      if (!ParseValue(value)) return false;
+      out.fields_.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      if (pos_ >= s_.size() || s_[pos_] != ',') {
+        Fail("expected ',' or '}'");
+        return false;
+      }
+      ++pos_;
+    }
+  }
+
+  bool ParseArray(Json& out) {
+    out.kind_ = Json::Kind::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      Json value;
+      if (!ParseValue(value)) return false;
+      out.items_.push_back(std::move(value));
+      SkipWs();
+      if (pos_ < s_.size() && s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      if (pos_ >= s_.size() || s_[pos_] != ',') {
+        Fail("expected ',' or ']'");
+        return false;
+      }
+      ++pos_;
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character in string");
+        return false;
+      }
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) {
+          Fail("dangling escape");
+          return false;
+        }
+        const char e = s_[pos_ + 1];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 5 >= s_.size()) {
+              Fail("truncated \\u escape");
+              return false;
+            }
+            unsigned cp = 0;
+            for (int i = 2; i <= 5; ++i) {
+              const char h = s_[pos_ + i];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                Fail("bad \\u escape");
+                return false;
+              }
+              cp = cp * 16 +
+                   static_cast<unsigned>(
+                       std::isdigit(static_cast<unsigned char>(h))
+                           ? h - '0'
+                           : std::tolower(h) - 'a' + 10);
+            }
+            // UTF-8 encode (surrogate pairs not recombined — our
+            // emitters only escape control bytes).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            pos_ += 4;
+            break;
+          }
+          default:
+            Fail("bad escape character");
+            return false;
+        }
+        pos_ += 2;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    Fail("unterminated string");
+    return false;
+  }
+
+  bool ParseNumber(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected a value");
+      return false;
+    }
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    const double v = std::strtod(tok.c_str(), &end);
+    if (!end || *end != '\0') {
+      Fail("malformed number");
+      return false;
+    }
+    out.kind_ = Json::Kind::kNumber;
+    out.num_ = v;
+    return true;
+  }
+
+  bool ParseLiteral(const char* lit, Json& out, Json::Kind kind,
+                    bool value) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) {
+      Fail("bad literal");
+      return false;
+    }
+    pos_ += l.size();
+    out.kind_ = kind;
+    out.bool_ = value;
+    return true;
+  }
+
+  const std::string& s_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+  bool ok_ = false;
+};
+
+Json Json::Parse(const std::string& text, std::string* error) {
+  if (error) error->clear();
+  JsonParser p(text, error);
+  return p.Run();
+}
+
+bool Json::Valid(const std::string& text) {
+  std::string err;
+  JsonParser p(text, &err);
+  Json j = p.Run();
+  return p.ok();
+}
+
+}  // namespace adq::util

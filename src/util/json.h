@@ -1,0 +1,73 @@
+#pragma once
+/// \file json.h
+/// \brief Minimal JSON DOM parser (RFC 8259 subset) for the repo's
+/// own machine-readable artifacts: BENCH_<name>.json, the
+/// BENCH_HISTORY.jsonl perf trajectory, and metrics snapshots.
+///
+/// Deliberately small: no streaming, no number-preserving round-trip,
+/// documents are the kilobyte-sized files our tools emit. Numbers
+/// parse to double (plenty for perf counters), object keys keep
+/// insertion order so diffs stay stable, and parse errors carry the
+/// byte offset so a truncated history line is reported precisely.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace adq::util {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0.0) const {
+    return is_number() ? num_ : fallback;
+  }
+  const std::string& AsString() const { return str_; }
+  const std::vector<Json>& items() const { return items_; }
+
+  /// Object field access; returns nullptr when absent or not an
+  /// object, so lookups chain without crashing on shape drift.
+  const Json* Get(const std::string& key) const;
+  /// Dotted-path convenience: Get("a.b.c").
+  const Json* GetPath(const std::string& dotted) const;
+  std::size_t size() const { return items_.size(); }
+
+  /// Object fields in document order.
+  const std::vector<std::pair<std::string, Json>>& fields() const {
+    return fields_;
+  }
+
+  /// Parses one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage is an error). On failure returns a null Json
+  /// and, if `error` is non-null, fills it with "offset N: message".
+  static Json Parse(const std::string& text, std::string* error = nullptr);
+  /// True iff `text` is one well-formed JSON document.
+  static bool Valid(const std::string& text);
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;  // arrays
+  std::vector<std::pair<std::string, Json>> fields_;  // objects
+};
+
+}  // namespace adq::util

@@ -6,6 +6,7 @@
 #include "util/check.h"
 #include "util/fixed_point.h"
 #include "util/histogram.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -77,6 +78,148 @@ TEST(Histogram, BinOfEdges) {
   // is floating-point dependent and deliberately unspecified).
   EXPECT_EQ(h.BinOf(-0.249), 1);
   EXPECT_EQ(h.BinOf(-0.201), 1);
+}
+
+TEST(Histogram, SumTracksRawSamples) {
+  util::Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  h.Add(1.5);
+  h.Add(8.5);
+  h.Add(100.0);  // clamped into the last bin, but sum stays raw
+  EXPECT_DOUBLE_EQ(h.sum(), 110.0);
+  EXPECT_EQ(h.total(), 3);
+}
+
+TEST(Histogram, QuantileEmptyHistogram) {
+  util::Histogram h(-4.0, 4.0, 8);
+  // Pinned edge: an empty histogram reports the range's lower edge.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), -4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), -4.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), -4.0);
+}
+
+TEST(Histogram, QuantileSingleSample) {
+  util::Histogram h(0.0, 10.0, 10);
+  h.Add(3.5);  // bin 3 = [3,4)
+  // Every quantile lands inside the one occupied bin.
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.Quantile(q), 3.0) << "q=" << q;
+    EXPECT_LE(h.Quantile(q), 4.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 4.0);
+}
+
+TEST(Histogram, QuantileAllEqualSamples) {
+  util::Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 1000; ++i) h.Add(0.55);  // all in bin 5
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 0.6);
+  EXPECT_GE(h.Quantile(0.5), 0.5);
+  EXPECT_LE(h.Quantile(0.5), 0.6);
+}
+
+TEST(Histogram, QuantileInterpolatesAndOrders) {
+  util::Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);  // one per bin
+  // Median of a uniform [0,100) fill is ~50, p90 ~90.
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.0);
+  double prev = h.Quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = h.Quantile(q);
+    EXPECT_GE(cur, prev) << "quantile not monotone at q=" << q;
+    prev = cur;
+  }
+}
+
+TEST(Histogram, QuantileOverflowSamplesStayInRange) {
+  util::Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.Add(1e9);    // clamp into last bin
+  for (int i = 0; i < 10; ++i) h.Add(-1e9);   // clamp into first bin
+  // Out-of-range q is clamped too.
+  for (const double q : {-1.0, 0.0, 0.5, 1.0, 2.0}) {
+    EXPECT_GE(h.Quantile(q), 0.0) << "q=" << q;
+    EXPECT_LE(h.Quantile(q), 10.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 10.0);
+}
+
+TEST(Json, ParsesScalarsObjectsArrays) {
+  std::string err;
+  const util::Json doc = util::Json::Parse(
+      R"({"a": 1.5, "b": "two", "c": [true, false, null], "d": {"e": -3e2}})",
+      &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_DOUBLE_EQ(doc.Get("a")->AsNumber(), 1.5);
+  EXPECT_EQ(doc.Get("b")->AsString(), "two");
+  const util::Json* c = doc.Get("c");
+  ASSERT_TRUE(c && c->is_array());
+  ASSERT_EQ(c->items().size(), 3u);
+  EXPECT_TRUE(c->items()[0].AsBool());
+  EXPECT_FALSE(c->items()[1].AsBool());
+  EXPECT_TRUE(c->items()[2].is_null());
+  EXPECT_DOUBLE_EQ(doc.GetPath("d.e")->AsNumber(), -300.0);
+  EXPECT_EQ(doc.Get("missing"), nullptr);
+  EXPECT_EQ(doc.GetPath("d.missing"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  std::string err;
+  const util::Json doc = util::Json::Parse(
+      R"({"s": "q\" b\\ s\/ n\n t\t r\r bs\b ff\f"})", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(doc.Get("s")->AsString(), "q\" b\\ s/ n\n t\t r\r bs\b ff\f");
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  std::string err;
+  const util::Json doc = util::Json::Parse(
+      R"(["\u0041", "\u00e9", "\u20ac", "\u0001"])", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(doc.items()[0].AsString(), "A");
+  EXPECT_EQ(doc.items()[1].AsString(), "\xC3\xA9");      // é
+  EXPECT_EQ(doc.items()[2].AsString(), "\xE2\x82\xAC");  // euro sign
+  EXPECT_EQ(doc.items()[3].AsString(), "\x01");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "{\"a\": }", "tru", "01abc",
+        "\"unterminated", "{\"a\": 1} extra", "{'single': 1}",
+        "{\"raw\nnewline\": 1}", "[1, ]trail", "nan", "+5"}) {
+    EXPECT_FALSE(util::Json::Valid(bad)) << "accepted: " << bad;
+    std::string err;
+    util::Json::Parse(bad, &err);
+    EXPECT_FALSE(err.empty()) << "no error message for: " << bad;
+  }
+}
+
+TEST(Json, NumbersRoundTrip) {
+  std::string err;
+  const util::Json doc = util::Json::Parse(
+      R"([0, -0.5, 1e3, 1E-3, 123456789.25, -2e+2])", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  ASSERT_EQ(doc.items().size(), 6u);
+  EXPECT_DOUBLE_EQ(doc.items()[0].AsNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(doc.items()[1].AsNumber(), -0.5);
+  EXPECT_DOUBLE_EQ(doc.items()[2].AsNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(doc.items()[3].AsNumber(), 0.001);
+  EXPECT_DOUBLE_EQ(doc.items()[4].AsNumber(), 123456789.25);
+  EXPECT_DOUBLE_EQ(doc.items()[5].AsNumber(), -200.0);
+}
+
+TEST(Json, FieldOrderIsPreserved) {
+  std::string err;
+  const util::Json doc =
+      util::Json::Parse(R"({"z": 1, "a": 2, "m": 3})", &err);
+  ASSERT_TRUE(err.empty());
+  ASSERT_EQ(doc.fields().size(), 3u);
+  EXPECT_EQ(doc.fields()[0].first, "z");
+  EXPECT_EQ(doc.fields()[1].first, "a");
+  EXPECT_EQ(doc.fields()[2].first, "m");
 }
 
 TEST(Histogram, RenderMarksViolations) {
