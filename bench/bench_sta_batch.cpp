@@ -16,7 +16,13 @@
 ///      where only the shallow output-stage domains are retuned (the
 ///      runtime dynamic-accuracy pattern; small cones, the headline
 ///      speedup) — with an in-run check that the incremental engine
-///      is bit-identical to the oracle on every lane it ever returns.
+///      is bit-identical to the oracle on every lane it ever returns;
+///   3. the same three workloads on the adaptive dispatcher (the
+///      default engine configuration): predicted-dense calls route
+///      back to the vectorized batch engine, so every workload must
+///      hold a >= 1.0x floor vs dense batch while mode_walk keeps the
+///      incremental win (adaptive_speedup_* series, gated by
+///      benchdiff against BENCH_HISTORY.jsonl per SIMD backend).
 ///
 /// Usage: bench_sta_batch [reps] [--smoke=SECONDS]
 ///                        [--trace=f] [--metrics=f] [--progress]
@@ -319,10 +325,12 @@ int main(int argc, char** argv) {
       .Num("scalar_wall_s", t_scalar)
       .Num("scalar_masks_per_sec", scalar_rate);
 
-  util::Table t({"engine", "batch width", "wall [s]", "masks/s", "speedup"});
-  t.AddRow({"scalar", "1", util::Table::Num(t_scalar, 3),
+  util::Table t({"engine", "isa", "batch width", "wall [s]", "masks/s",
+                 "speedup"});
+  t.AddRow({"scalar", simd::kBackendName, "1", util::Table::Num(t_scalar, 3),
             util::Table::Num(scalar_rate, 0), "1.00"});
   double best_speedup = 0.0;
+  double simd_masks_per_sec = 0.0;  // width-16 row: the headline lane count
   for (const std::size_t w : {std::size_t{2}, std::size_t{4},
                               std::size_t{8}, std::size_t{16}}) {
     const auto tb = Clock::now();
@@ -330,11 +338,13 @@ int main(int argc, char** argv) {
     const double s = SecondsSince(tb);
     const double speedup = t_scalar / s;
     best_speedup = std::max(best_speedup, speedup);
-    t.AddRow({"batch", std::to_string(w), util::Table::Num(s, 3),
-              util::Table::Num(total_masks / s, 0),
+    if (w == 16) simd_masks_per_sec = total_masks / s;
+    t.AddRow({"batch", simd::kBackendName, std::to_string(w),
+              util::Table::Num(s, 3), util::Table::Num(total_masks / s, 0),
               util::Table::Num(speedup, 2)});
     report.Row("widths")
         .Str("engine", "batch")
+        .Str("simd_backend", simd::kBackendName)
         .Int("batch_width", static_cast<long long>(w))
         .Num("wall_s", s)
         .Num("masks_per_sec", total_masks / s)
@@ -342,9 +352,10 @@ int main(int argc, char** argv) {
   }
   std::fputs(t.Render().c_str(), stdout);
   std::printf("\nbest batched speedup: %.2fx over scalar lane-by-lane "
-              "Analyze\n\n",
-              best_speedup);
-  report.Num("best_speedup", best_speedup);
+              "Analyze (simd backend: %s, f64 width %d)\n\n",
+              best_speedup, simd::kBackendName, simd::F64::kWidth);
+  report.Num("best_speedup", best_speedup)
+      .Num("simd_masks_per_sec", simd_masks_per_sec);
 
   // --- Incremental engine on delta-structured workloads -----------------
   // 32-bit Booth on a 3x3 grid (9 bias domains, 512 masks): the
@@ -359,7 +370,18 @@ int main(int argc, char** argv) {
                                        bench::Lib(), fopt);
   }();
   const int ndom3 = d3.num_domains();
+  // Two incremental engines: `inc` with adaptive dispatch forced off
+  // (the pure cone-bounded path, comparable to the committed
+  // incremental_speedup_w16 history) and `adap` with the default
+  // adaptive dispatcher, which routes predicted-dense calls back to
+  // the vectorized batch engine — the configuration explore.cpp runs.
   sta::IncrementalSta inc(d3.op.nl, bench::Lib(), d3.loads);
+  {
+    sta::DispatchOptions nd;
+    nd.adaptive = false;
+    inc.set_dispatch(nd);
+  }
+  sta::IncrementalSta adap(d3.op.nl, bench::Lib(), d3.loads);
   sta::TimingAnalyzer oracle3(d3.op.nl, bench::Lib(), d3.loads);
   const netlist::CaseAnalysis ca3(d3.op.nl, core::ForcedZeros(d3.op, 16));
   constexpr std::size_t kIncWidth = 16;
@@ -383,14 +405,21 @@ int main(int argc, char** argv) {
   workloads[2].domain_of = &depth_dom;
 
   // Replays one workload against an engine; returns the wns sink.
-  auto replay_inc = [&](const DeltaWorkload& w) {
+  auto replay_engine = [&](sta::IncrementalSta& eng,
+                           const DeltaWorkload& w) {
     double sink = 0.0;
     for (std::size_t k = 0; k < w.chunk_of_call.size(); ++k)
       for (const sta::TimingReport& r :
-           inc.AnalyzeBatch(w.vdd_of_call[k], d3.clock_ns,
+           eng.AnalyzeBatch(w.vdd_of_call[k], d3.clock_ns,
                             w.chunk_of_call[k], *w.domain_of, &ca3))
         sink += r.wns_ns;
     return sink;
+  };
+  auto replay_inc = [&](const DeltaWorkload& w) {
+    return replay_engine(inc, w);
+  };
+  auto replay_adap = [&](const DeltaWorkload& w) {
+    return replay_engine(adap, w);
   };
   auto replay_batch = [&](const DeltaWorkload& w) {
     double sink = 0.0;
@@ -402,21 +431,23 @@ int main(int argc, char** argv) {
     return sink;
   };
 
-  // Bit-identity gate: replay every workload once, comparing every
-  // lane of the incremental engine against the oracle.
+  // Bit-identity gate: replay every workload once through BOTH
+  // incremental configurations, comparing every lane against the
+  // oracle — the adaptive dispatcher must be invisible in the values.
   bool inc_identical = true;
-  for (const DeltaWorkload& w : workloads)
-    for (std::size_t k = 0; k < w.chunk_of_call.size(); ++k) {
-      const auto got =
-          inc.AnalyzeBatch(w.vdd_of_call[k], d3.clock_ns,
-                           w.chunk_of_call[k], *w.domain_of, &ca3);
-      const auto want = oracle3.AnalyzeBatch(
-          w.vdd_of_call[k], d3.clock_ns, w.chunk_of_call[k],
-          *w.domain_of, &ca3);
-      for (std::size_t l = 0; l < got.size(); ++l)
-        inc_identical = inc_identical && SameReport(got[l], want[l]);
-    }
-  std::printf("incremental lanes bit-checked: %s\n",
+  for (sta::IncrementalSta* eng : {&inc, &adap})
+    for (const DeltaWorkload& w : workloads)
+      for (std::size_t k = 0; k < w.chunk_of_call.size(); ++k) {
+        const auto got =
+            eng->AnalyzeBatch(w.vdd_of_call[k], d3.clock_ns,
+                              w.chunk_of_call[k], *w.domain_of, &ca3);
+        const auto want = oracle3.AnalyzeBatch(
+            w.vdd_of_call[k], d3.clock_ns, w.chunk_of_call[k],
+            *w.domain_of, &ca3);
+        for (std::size_t l = 0; l < got.size(); ++l)
+          inc_identical = inc_identical && SameReport(got[l], want[l]);
+      }
+  std::printf("incremental + adaptive lanes bit-checked: %s\n",
               inc_identical ? "identical" : "DIVERGE");
 
   int inc_reps = reps;
@@ -428,66 +459,97 @@ int main(int argc, char** argv) {
   }
 
   util::Table ti({"workload", "engine", "wall [s]", "masks/s", "speedup",
-                  "cone%"});
+                  "cone%", "dense"});
   // Best-of-N wall time per engine: on a loaded machine a single
   // timed run is hostage to scheduler noise; the minimum over a few
   // trials estimates the undisturbed cost of the same work.
   constexpr int kTrials = 3;
   double speedup_w16 = 0.0;
+  bool adaptive_floor_ok = true;
   for (const DeltaWorkload& w : workloads) {
     const double wl_masks =
         static_cast<double>(w.TotalMasks()) * inc_reps;
+    const long v0 = inc.stats().visited_instances;
+    const long s0 = inc.stats().scanned_instances;
+    const long dense0 = adap.stats().dispatch_dense;
     double t_batch = std::numeric_limits<double>::infinity();
+    double t_inc = std::numeric_limits<double>::infinity();
+    double t_adap = std::numeric_limits<double>::infinity();
+    // Interleaved trials: each round times all three engines on the
+    // same work back to back, so the per-engine minima are taken over
+    // comparable cache / scheduler conditions instead of three
+    // disjoint time blocks.
     for (int trial = 0; trial < kTrials; ++trial) {
       const auto tb = Clock::now();
       for (int r = 0; r < inc_reps; ++r) replay_batch(w);
       t_batch = std::min(t_batch, SecondsSince(tb));
-    }
-    const long v0 = inc.stats().visited_instances;
-    const long s0 = inc.stats().scanned_instances;
-    double t_inc = std::numeric_limits<double>::infinity();
-    for (int trial = 0; trial < kTrials; ++trial) {
       const auto tn = Clock::now();
       for (int r = 0; r < inc_reps; ++r) replay_inc(w);
       t_inc = std::min(t_inc, SecondsSince(tn));
+      const auto ta = Clock::now();
+      for (int r = 0; r < inc_reps; ++r) replay_adap(w);
+      t_adap = std::min(t_adap, SecondsSince(ta));
     }
     const long dv =
         (inc.stats().visited_instances - v0) / kTrials;
     const long ds =
         (inc.stats().scanned_instances - s0) / kTrials;
+    const long ddense =
+        (adap.stats().dispatch_dense - dense0) / (kTrials * inc_reps);
     const double cone_pct =
         ds > 0 ? 100.0 * static_cast<double>(dv) / static_cast<double>(ds)
                : 0.0;
     const double speedup = t_batch / t_inc;
+    const double adap_speedup = t_batch / t_adap;
     if (std::strcmp(w.name, "mode_walk") == 0) speedup_w16 = speedup;
+    // The dispatcher's contract: never slower than the dense batch
+    // engine (it IS the dense engine plus a cheap predictor on the
+    // workloads where incremental re-propagation loses).
+    adaptive_floor_ok = adaptive_floor_ok && adap_speedup >= 1.0;
     ti.AddRow({w.name, "batch", util::Table::Num(t_batch, 3),
-               util::Table::Num(wl_masks / t_batch, 0), "1.00", ""});
+               util::Table::Num(wl_masks / t_batch, 0), "1.00", "", ""});
     ti.AddRow({w.name, "incremental", util::Table::Num(t_inc, 3),
                util::Table::Num(wl_masks / t_inc, 0),
                util::Table::Num(speedup, 2),
-               util::Table::Num(cone_pct, 1)});
+               util::Table::Num(cone_pct, 1), ""});
+    ti.AddRow({w.name, "adaptive", util::Table::Num(t_adap, 3),
+               util::Table::Num(wl_masks / t_adap, 0),
+               util::Table::Num(adap_speedup, 2), "",
+               std::to_string(ddense)});
     report.Row("incremental")
         .Str("workload", w.name)
         .Str("engine", "incremental")
         .Str("design", "booth32_3x3")
+        .Str("simd_backend", simd::kBackendName)
         .Int("batch_width", static_cast<long long>(kIncWidth))
         .Int("reps", inc_reps)
         .Num("batch_wall_s", t_batch)
         .Num("incremental_wall_s", t_inc)
+        .Num("adaptive_wall_s", t_adap)
         .Num("batch_masks_per_sec", wl_masks / t_batch)
         .Num("incremental_masks_per_sec", wl_masks / t_inc)
+        .Num("adaptive_masks_per_sec", wl_masks / t_adap)
         .Num("cone_pct", cone_pct)
-        .Num("speedup", speedup);
+        .Num("speedup", speedup)
+        .Num("adaptive_speedup", adap_speedup)
+        .Int("adaptive_dense_calls_per_replay", ddense);
+    report.Num(std::string("adaptive_speedup_") + w.name, adap_speedup);
   }
   std::fputs(ti.Render().c_str(), stdout);
   std::printf("\nincremental speedup at width %zu (mode_walk "
               "deltas): %.2fx over AnalyzeBatch\n",
               kIncWidth, speedup_w16);
+  std::printf("adaptive dispatch floor (>= 1.00x on every workload): %s\n",
+              adaptive_floor_ok ? "ok" : "MISSED");
   std::printf("cone stats: %ld visited / %ld scanned instances over "
-              "%ld hits (%ld fallbacks)\n",
+              "%ld hits (%ld fallbacks); adaptive engine: %ld hits, "
+              "%ld dense dispatches, %ld fallbacks\n",
               inc.stats().visited_instances, inc.stats().scanned_instances,
-              inc.stats().incremental_hits, inc.stats().full_fallbacks);
+              inc.stats().incremental_hits, inc.stats().full_fallbacks,
+              adap.stats().incremental_hits, adap.stats().dispatch_dense,
+              adap.stats().full_fallbacks);
   report.Bool("incremental_identical", inc_identical)
+      .Bool("adaptive_floor_ok", adaptive_floor_ok)
       .Num("incremental_speedup_w16", speedup_w16);
   report.Write("sta_batch");
   obs::Flush();

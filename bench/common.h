@@ -22,6 +22,7 @@
 #include "gen/operator.h"
 #include "netlist/stats.h"
 #include "obs/obs.h"
+#include "util/simd.h"
 
 // Injected per-target by bench/CMakeLists.txt from `git describe`.
 #ifndef ADQ_GIT_DESCRIBE
@@ -211,7 +212,12 @@ class BenchJson {
         .Str("ts_utc", ts)
         .Str("host", host)
         .Int("hardware_threads",
-             static_cast<long long>(std::thread::hardware_concurrency()));
+             static_cast<long long>(std::thread::hardware_concurrency()))
+        // Compile-time SIMD provenance: throughput rows from an AVX2
+        // build must never be compared against scalar-fallback rows,
+        // so the gate needs the selected backend in every document.
+        .Str("simd_backend", simd::kBackendName)
+        .Int("simd_f64_width", simd::F64::kWidth);
     std::string body = doc.Render();
     body.pop_back();  // strip '}' to splice our fields in
     const std::string inner = Render();

@@ -11,11 +11,12 @@
 ///       a -dirty/unknown build id unless --allow-dirty is given.
 ///
 ///   benchdiff --gate [--history=...] [--window=N] [--k=X]
-///             [--rel-floor=X] [--any-host] [--allow-dirty]
-///             [dir|file...]
+///             [--rel-floor=X] [--any-host] [--any-backend]
+///             [--allow-dirty] [dir|file...]
 ///       Compare each BENCH_*.json against the newest comparable
-///       history rows (same bench, clean build, same host by default)
-///       using a median/MAD noise band. Exit 1 when any pinned series
+///       history rows (same bench, clean build, same host and same
+///       compile-time SIMD backend by default — untagged legacy rows
+///       match any backend) using a median/MAD noise band. Exit 1 when any pinned series
 ///       regressed, 0 otherwise (advisory verdicts — not enough
 ///       comparable history — never fail), 2 on usage/IO errors.
 ///
@@ -54,7 +55,8 @@ void Usage() {
       stderr,
       "usage: benchdiff --add|--gate [--history=FILE] [--window=N]\n"
       "                 [--min-baseline=N] [--k=X] [--rel-floor=X]\n"
-      "                 [--any-host] [--allow-dirty] [dir|file...]\n");
+      "                 [--any-host] [--any-backend] [--allow-dirty]\n"
+      "                 [dir|file...]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* a) {
@@ -73,6 +75,8 @@ bool ParseArgs(int argc, char** argv, Args* a) {
       a->gopt.allow_dirty = true;
     } else if (arg == "--any-host") {
       a->gopt.same_host_only = false;
+    } else if (arg == "--any-backend") {
+      a->gopt.same_backend_only = false;
     } else if (const char* v = val("--history=")) {
       a->history = v;
     } else if (const char* v = val("--window=")) {

@@ -448,6 +448,7 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
     if (!e) continue;
     result.stats.sta_incremental_hits += e->stats().incremental_hits;
     result.stats.sta_full_fallbacks += e->stats().full_fallbacks;
+    result.stats.sta_dispatch_dense += e->stats().dispatch_dense;
   }
   return result;
 }
@@ -470,6 +471,8 @@ void RecordExploreMetrics(const ExplorationResult& r, double seconds) {
       .Add(r.stats.sta_incremental_hits);
   obs::GetCounter("explore.sta_full_fallbacks")
       .Add(r.stats.sta_full_fallbacks);
+  obs::GetCounter("explore.sta_dispatch_dense")
+      .Add(r.stats.sta_dispatch_dense);
   obs::GetGauge("explore.wall_s").Add(seconds);
   if (seconds > 0.0)
     obs::GetGauge("explore.points_per_sec")

@@ -83,6 +83,8 @@ struct ExplorationStats {
   // they never influence modes, points or the fields above.
   long sta_incremental_hits = 0;  ///< engine calls served from cone state
   long sta_full_fallbacks = 0;    ///< engine calls that ran a full sweep
+  long sta_dispatch_dense = 0;    ///< engine calls the adaptive dispatcher
+                                  ///< routed to the dense batch path
 
   double FilterRate() const {
     return points_considered == 0

@@ -48,6 +48,24 @@ const PinnedSeries kPinned[] = {
      [](const util::Json& d) { return MaxOver(d, "widths", "masks_per_sec"); }},
     {"sta_batch", "incremental_speedup_w16", false,
      [](const util::Json& d) { return NumAt(d, "incremental_speedup_w16"); }},
+    // SIMD value-lane engine (PR-8): width-16 batch throughput of the
+    // vectorized kernels, plus the adaptive dispatcher's per-workload
+    // speedup over the dense batch engine (the floors the ISSUE gates
+    // on: every workload >= 1.0x, mode_walk keeps its headline win).
+    {"sta_batch", "simd_masks_per_sec", false,
+     [](const util::Json& d) { return NumAt(d, "simd_masks_per_sec"); }},
+    {"sta_batch", "adaptive_speedup_gray_sweep", false,
+     [](const util::Json& d) {
+       return NumAt(d, "adaptive_speedup_gray_sweep");
+     }},
+    {"sta_batch", "adaptive_speedup_neighborhood", false,
+     [](const util::Json& d) {
+       return NumAt(d, "adaptive_speedup_neighborhood");
+     }},
+    {"sta_batch", "adaptive_speedup_mode_walk", false,
+     [](const util::Json& d) {
+       return NumAt(d, "adaptive_speedup_mode_walk");
+     }},
     {"sim_packed", "packed_speedup", false,
      [](const util::Json& d) { return NumAt(d, "speedup"); }},
     {"sim_packed", "packed_cycles_per_sec", false,
@@ -110,6 +128,8 @@ bool ExtractBenchRun(const util::Json& doc, BenchRun* run,
   const util::Json* ht = doc.Get("hardware_threads");
   run->hardware_threads =
       ht && ht->is_number() ? static_cast<long>(ht->AsNumber()) : 0;
+  const util::Json* sb = doc.Get("simd_backend");
+  run->simd_backend = sb && sb->is_string() ? sb->AsString() : "";
   run->series.clear();
   for (const PinnedSeries& p : kPinned) {
     if (run->bench != p.bench) continue;
@@ -126,8 +146,12 @@ std::string RunToJsonLine(const BenchRun& run) {
                     JsonEscape(run.build) + "\", \"ts_utc\": \"" +
                     JsonEscape(run.ts_utc) + "\", \"host\": \"" +
                     JsonEscape(run.host) + "\", \"hardware_threads\": " +
-                    std::to_string(run.hardware_threads) +
-                    ", \"series\": {";
+                    std::to_string(run.hardware_threads);
+  // Rows from builds predating the SIMD layer carry no backend; keep
+  // their round-trip byte-stable by omitting the key entirely.
+  if (!run.simd_backend.empty())
+    out += ", \"simd_backend\": \"" + JsonEscape(run.simd_backend) + "\"";
+  out += ", \"series\": {";
   bool first = true;
   for (const auto& [name, v] : run.series) {
     out += first ? "" : ", ";
@@ -166,6 +190,8 @@ bool ParseHistoryLine(const std::string& line, BenchRun* run,
   const util::Json* ht = doc.Get("hardware_threads");
   run->hardware_threads =
       ht && ht->is_number() ? static_cast<long>(ht->AsNumber()) : 0;
+  const util::Json* sb = doc.Get("simd_backend");
+  run->simd_backend = sb && sb->is_string() ? sb->AsString() : "";
   run->series.clear();
   if (const util::Json* s = doc.Get("series"); s && s->is_object())
     for (const auto& [name, v] : s->fields())
@@ -224,6 +250,11 @@ std::vector<SeriesVerdict> GateRun(const BenchRun& run,
     if (h.bench != run.bench) continue;
     if (!opt.allow_dirty && IsDirtyBuildId(h.build)) continue;
     if (opt.same_host_only && !run.host.empty() && h.host != run.host)
+      continue;
+    // Backend mismatch (AVX2 vs scalar, say) makes throughput rows
+    // incomparable, and untagged legacy rows predate the SIMD engine
+    // entirely — each backend tag gates only against its own rows.
+    if (opt.same_backend_only && h.simd_backend != run.simd_backend)
       continue;
     base.push_back(&h);
   }

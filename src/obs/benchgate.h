@@ -21,10 +21,11 @@
 ///     cannot widen the band; the relative floor keeps a zero-MAD
 ///     baseline (identical reruns) from flagging measurement jitter.
 ///
-/// Benchmarks move between machines, so by default only baseline rows
-/// from the same hostname count; with none available the gate passes
-/// advisorily (verdict.advisory) instead of comparing apples to
-/// oranges. Rows carrying a `-dirty` or `unknown` build id are
+/// Benchmarks move between machines and builds between ISAs, so by
+/// default only baseline rows from the same hostname AND the same
+/// compile-time SIMD backend count (rows predating the backend tag
+/// match any run); with none available the gate passes advisorily
+/// (verdict.advisory) instead of comparing apples to oranges. Rows carrying a `-dirty` or `unknown` build id are
 /// refused as baselines — an unpinnable number cannot gate anything.
 ///
 /// Not gated on ADQ_OBS_DISABLED: this is offline tooling over files,
@@ -47,6 +48,12 @@ struct BenchRun {
   std::string build;      ///< git describe build id
   std::string ts_utc;     ///< ISO-8601 Z timestamp
   std::string host;
+  /// Compile-time-selected SIMD backend of the build that produced
+  /// the run ("avx2", "sse2", "neon", "scalar"); empty for rows that
+  /// predate the field. Part of the run's identity: an AVX2 build's
+  /// throughput must not be held to a scalar-fallback baseline (or
+  /// vice versa), so the gate filters baselines on it by default.
+  std::string simd_backend;
   long hardware_threads = 0;
   std::map<std::string, double> series;  ///< pinned name -> value
 };
@@ -82,6 +89,13 @@ struct GateOptions {
   double k = 3.0;        ///< noise-band multiplier
   double rel_floor = 0.10;  ///< relative noise floor (fraction of median)
   bool same_host_only = true;  ///< ignore rows from other hostnames
+  /// Only gate against baseline rows recorded with exactly the fresh
+  /// run's simd_backend tag. Untagged rows (pre-SIMD history) were
+  /// produced by a different engine generation whose throughput and
+  /// engine-ratio series are not comparable to a tagged build, so
+  /// they only gate equally-untagged runs; a tagged run starts a
+  /// fresh per-backend baseline.
+  bool same_backend_only = true;
   bool allow_dirty = false;    ///< accept -dirty/unknown baselines
 };
 

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "obs/metrics.h"
+#include "util/simd.h"
 
 namespace adq::sim {
 
@@ -73,7 +74,23 @@ void PackedLogicSim::Tick() {
   if (have_prev_) {
     if (pending_ == kFlushPeriod) FlushCounters();
     const std::size_t n_nets = values_.size();
-    for (std::size_t n = 0; n < n_nets; ++n) {
+    // Ripple-carry the toggle words of U64::kWidth adjacent nets into
+    // the counter planes at once; the carry chain dies as soon as no
+    // net in the group still carries (integer ops, bit-exact).
+    std::size_t n = 0;
+    for (; n + simd::U64::kWidth <= n_nets; n += simd::U64::kWidth) {
+      simd::U64 x = simd::Xor(simd::U64::Load(&values_[n]),
+                              simd::U64::Load(&prev_values_[n]));
+      for (std::size_t p = 0; simd::AnyNonZero(x); ++p) {
+        ADQ_DCHECK(p < static_cast<std::size_t>(kCounterPlanes));
+        std::uint64_t* w = &planes_[p * n_nets + n];
+        const simd::U64 wv = simd::U64::Load(w);
+        const simd::U64 carry = simd::And(wv, x);
+        simd::Xor(wv, x).Store(w);
+        x = carry;
+      }
+    }
+    for (; n < n_nets; ++n) {
       std::uint64_t x = values_[n] ^ prev_values_[n];
       for (std::size_t p = 0; x; ++p) {
         ADQ_DCHECK(p < static_cast<std::size_t>(kCounterPlanes));
@@ -110,7 +127,35 @@ void PackedLogicSim::FlushCounters() const {
     for (int p = 0; p < kCounterPlanes; ++p)
       any |= planes_[static_cast<std::size_t>(p) * n_nets + n];
     if (!any) continue;
-    for (int l = 0; l < kLanes; ++l) {
+    // Vertical popcount reassembly, U64::kWidth lanes per step: each
+    // plane word is broadcast and its group of lane bits gathered
+    // with a per-lane variable shift, then OR-merged at bit p. Lanes
+    // whose `any` bit is clear accumulate an exact zero, so skipping
+    // is purely a fast-out for all-quiet groups.
+    constexpr int kGroup = simd::U64::kWidth;
+    const std::uint64_t group_bits =
+        kGroup >= 64 ? ~0ull : ((1ull << kGroup) - 1ull);
+    const simd::U64 one = simd::U64::Broadcast(1);
+    int l = 0;
+    for (; l + kGroup <= kLanes; l += kGroup) {
+      if (!((any >> l) & group_bits)) continue;
+      const simd::U64 shifts =
+          simd::U64::Iota(static_cast<std::uint64_t>(l));
+      simd::U64 cnt = simd::U64::Broadcast(0);
+      for (int p = 0; p < kCounterPlanes; ++p) {
+        const std::uint64_t word =
+            planes_[static_cast<std::size_t>(p) * n_nets + n];
+        if (!word) continue;
+        const simd::U64 bits =
+            simd::And(simd::ShrVar(simd::U64::Broadcast(word), shifts),
+                      one);
+        cnt = simd::Or(cnt, simd::Shl(bits, p));
+      }
+      std::uint64_t* t =
+          &lane_toggles_[n * kLanes + static_cast<std::size_t>(l)];
+      simd::Add(simd::U64::Load(t), cnt).Store(t);
+    }
+    for (; l < kLanes; ++l) {
       if (!((any >> l) & 1ULL)) continue;
       std::uint64_t c = 0;
       for (int p = 0; p < kCounterPlanes; ++p)

@@ -6,6 +6,7 @@
 
 #include "netlist/topo.h"
 #include "obs/metrics.h"
+#include "sta/lane_kernels.h"
 
 namespace adq::sta {
 
@@ -91,6 +92,10 @@ std::vector<TimingReport> IncrementalSta::FullTraversal(
   // full traversal of that mask under (vdd, ca) would produce.
   const std::size_t W = lane_masks.size();
   const std::span<const double> arr = oracle_->LastBatchArrivals();
+  // Unreached rows of the oracle's batch buffer are undefined (its
+  // schedule-driven sweep never writes them); their semantic arrival
+  // is -inf, which is what the re-propagation must read back.
+  const std::span<const std::uint8_t> reached = oracle_->LastBatchReached();
   BaseState& st = AllocState();
   st.vdd = vdd;
   st.has_ca = ca != nullptr;
@@ -99,7 +104,8 @@ std::vector<TimingReport> IncrementalSta::FullTraversal(
   st.last_used = ++lru_tick_;
   st.arrival.resize(nl_.num_nets());
   for (std::size_t n = 0; n < nl_.num_nets(); ++n)
-    st.arrival[n] = arr[n * W];
+    st.arrival[n] = reached[n] ? arr[n * W]
+                               : -std::numeric_limits<double>::infinity();
   return reports;
 }
 
@@ -127,10 +133,17 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
   // Structure staleness: any netlist mutation (or RawAccess handout)
   // since levelization voids the cached order and arrival states.
   if (nl_.version() != nl_version_) Relevelize();
-  if (!ctx_valid_ || domain_of_inst != domain_of_) {
+  // Context staleness: vector identity first — the deep O(instances)
+  // compare runs only when the caller hands over a different map
+  // object (see the ctx_ptr_ contract in the header); on the steady
+  // path it would cost more than a small-cone call itself.
+  if (!ctx_valid_ ||
+      (&domain_of_inst != ctx_ptr_ && domain_of_inst != domain_of_)) {
     states_.clear();
     domain_of_ = domain_of_inst;
     ctx_valid_ = true;
+    ewma_cone_ = 0.0;  // new workload phase: re-learn the cone
+    ewma_amp_ = 1.0;
     // Per-domain member lists, in topological order, so a call seeds
     // straight from the changed domains.
     int nd = 1;
@@ -143,6 +156,7 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
     for (const std::uint32_t i : seq_)
       dom_seq_[static_cast<std::size_t>(domain_of_[i])].push_back(i);
   }
+  ctx_ptr_ = &domain_of_inst;
 
   // Base-state lookup, keyed on (vdd, case analysis). clock_ns is
   // deliberately absent from the key: arrivals don't depend on it,
@@ -163,8 +177,56 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
     return FullTraversal(vdd, clock_ns, lane_masks, domain_of_inst, ca);
   }
   st->last_used = ++lru_tick_;
+
+  // Adaptive engine dispatch: predict this call's dirty-cone fraction
+  // as max(seed fraction of the changed domains — a lower bound known
+  // before any propagation — and the EWMA of cones observed on
+  // earlier incremental calls). Above the crossover threshold the
+  // dense vectorized batch path is cheaper than cone bookkeeping
+  // (BENCH_sta_batch.json: 0.65-0.86x at 80-100% cone), and its
+  // reports are bit-identical, so route the call straight there. The
+  // cached base state is left untouched and stays valid.
+  const int ndom = static_cast<int>(dom_comb_.size());
+  const std::uint32_t dom_bits =
+      ndom >= 32 ? 0xffffffffu : ((1u << ndom) - 1u);
+  const double total_insts =
+      static_cast<double>(order_.size() + seq_.size());
+  double seed_frac = 0.0;
+  if (dispatch_.adaptive && total_insts > 0) {
+    std::uint32_t union_diff = 0;
+    for (std::size_t l = 0; l < W; ++l)
+      union_diff |= (lane_masks[l] ^ st->base_mask) & dom_bits;
+    std::size_t seed = 0;
+    for (std::uint32_t bits = union_diff; bits != 0; bits &= bits - 1) {
+      const std::size_t d =
+          static_cast<std::size_t>(std::countr_zero(bits));
+      seed += dom_comb_[d].size() + dom_seq_[d].size();
+    }
+    seed_frac = static_cast<double>(seed) / total_insts;
+    const double amp_pred =
+        std::min(1.0, seed_frac * std::max(1.0, ewma_amp_));
+    const double pred = std::max({seed_frac, ewma_cone_, amp_pred});
+    if (pred > dispatch_.cone_threshold) {
+      ++stats_.dispatch_dense;
+      static obs::Counter& disp_dense =
+          obs::GetCounter("sta.engine_dispatch_dense");
+      disp_dense.Add();
+      // Decaying toward the seed fraction (a lower bound) schedules a
+      // sparse incremental probe once the high-cone phase may be
+      // over, so the engine can swing back. (The amplification term
+      // keeps blocking seeds the design is known to blow up, so the
+      // probe fires on genuinely-local calls, not on every EWMA dip.)
+      ewma_cone_ += dispatch_.decay_alpha * (seed_frac - ewma_cone_);
+      return oracle_->AnalyzeBatch(vdd, clock_ns, lane_masks,
+                                   domain_of_inst, ca);
+    }
+  }
+
   ++stats_.incremental_hits;
   inc_hits.Add();
+  static obs::Counter& disp_inc =
+      obs::GetCounter("sta.engine_dispatch_incremental");
+  disp_inc.Add();
   if (const long calls = inc_calls.value(); calls > 0)
     fallback_rate.Set(static_cast<double>(inc_falls.value()) / calls);
   stats_.scanned_instances += static_cast<long>(order_.size());
@@ -174,8 +236,6 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
   };
 
   // Per-lane delay multipliers, exactly the oracle's table.
-  int ndom = 1;
-  for (const int d : domain_of_inst) ndom = std::max(ndom, d + 1);
   const double nobb = lib_.DelayScale(vdd, tech::BiasState::kNoBB);
   const double fbb = lib_.DelayScale(vdd, tech::BiasState::kFBB);
   scale_lanes_.resize(static_cast<std::size_t>(ndom) * W);
@@ -187,8 +247,6 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
   // Which lanes disagree with the base mask, per domain. Mask bits at
   // or above ndom don't reach any scale row, so they are ignored here
   // exactly as the oracle ignores them.
-  const std::uint32_t dom_bits =
-      ndom >= 32 ? 0xffffffffu : ((1u << ndom) - 1u);
   chg_dom_.assign(static_cast<std::size_t>(ndom), 0);
   bool any_change = false;
   for (std::size_t l = 0; l < W; ++l) {
@@ -306,24 +364,23 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
       }
       if (base_in == kNegInf) return;  // fully constant / unreachable
 
-      // Dense fast path when every lane is dirty: the straight lane
-      // streams of the batch kernel, same expressions, no bit scans.
+      // Dense fast path when every lane is dirty: the straight SIMD
+      // lane streams of the batch kernel, same expressions, no bit
+      // scans — convergence is one movemask compare against the base
+      // arrival with early exit on an all-zero mask.
       const std::uint64_t full =
           W == 64 ? ~0ull : ((1ull << W) - 1ull);
       if (need == full) {
-        for (std::size_t l = 0; l < W; ++l) in_arr_[l] = kNegInf;
+        std::fill(in_arr_.begin(), in_arr_.begin() + W, kNegInf);
         for (int p = 0; p < inst.num_inputs(); ++p) {
           const NetId in = inst.in[p];
           if (!net_active(in)) continue;
           const double* a = RowOf(in);
-          if (a != nullptr) {
-            for (std::size_t l = 0; l < W; ++l)
-              in_arr_[l] = std::max(in_arr_[l], a[l]);
-          } else {
-            const double b = st->arrival[in.index()];
-            for (std::size_t l = 0; l < W; ++l)
-              in_arr_[l] = std::max(in_arr_[l], b);
-          }
+          if (a != nullptr)
+            lanes::MaxInPlace(in_arr_.data(), a, W);
+          else
+            lanes::MaxBroadcast(in_arr_.data(),
+                                st->arrival[in.index()], W);
         }
         const double* m =
             &scale_lanes_[static_cast<std::size_t>(domain_of_inst[i]) *
@@ -331,14 +388,11 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
         for (int o = 0; o < inst.num_outputs(); ++o) {
           const NetId out = inst.out[o];
           if (!net_active(out)) continue;
-          const double base = tab.base_delay[2 * i + (std::size_t)o];
-          const double wire = tab.wire_delay[2 * i + (std::size_t)o];
-          const double base_o = st->arrival[out.index()];
-          std::uint64_t dm = 0;
-          for (std::size_t l = 0; l < W; ++l) {
-            out_buf_[l] = in_arr_[l] + base * m[l] + wire;
-            if (out_buf_[l] != base_o) dm |= 1ull << l;
-          }
+          const std::uint64_t dm = lanes::PropagateNeq(
+              out_buf_.data(), in_arr_.data(), m,
+              tab.base_delay[2 * i + (std::size_t)o],
+              tab.wire_delay[2 * i + (std::size_t)o],
+              st->arrival[out.index()], W);
           if (dm == 0) continue;  // converged back to the base arrival
           double* row = Materialize(out, W);
           for (std::size_t l = 0; l < W; ++l) row[l] = out_buf_[l];
@@ -413,16 +467,33 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
   cone_insts.Add(visited);
   static obs::HistogramMetric& cone_frac =
       obs::GetHistogram("sta.cone_frac", 0.0, 1.0, 20);
-  if (!order_.empty())
-    cone_frac.Observe(static_cast<double>(visited) /
-                      static_cast<double>(order_.size() + seq_.size()));
+  if (!order_.empty()) {
+    const double observed = static_cast<double>(visited) /
+                            static_cast<double>(order_.size() + seq_.size());
+    cone_frac.Observe(observed);
+    // Feed the dispatcher: observed cones raise the prediction fast,
+    // so a couple of high-cone calls tip future ones to dense, and
+    // the cone/seed ratio teaches it the design's fanout blow-up so
+    // later small seeds predict their full cone up front.
+    ewma_cone_ += dispatch_.raise_alpha * (observed - ewma_cone_);
+    if (seed_frac > 0.0) {
+      const double amp = std::min(observed / seed_frac, 100.0);
+      ewma_amp_ += dispatch_.amp_alpha * (amp - ewma_amp_);
+    }
+  }
 
   // Capture fold: the oracle's endpoint expressions verbatim, reading
   // each D net from its lane row when dirty and from the base state
-  // when not, grouped by domain so the scale row loads hoist. (The
-  // iteration order differs from the oracle's instance order, but min
-  // and the endpoint counts are exact order-independent folds.)
+  // when not, grouped by domain so the scale row loads hoist. SoA
+  // accumulators (per-lane wns / violation count, lane-invariant
+  // endpoint counts) keep it on the SIMD kernels. (The iteration
+  // order differs from the oracle's instance order, but min and the
+  // endpoint counts are exact order-independent folds.)
   std::vector<TimingReport> reports(W);
+  wns_lanes_.assign(W, std::numeric_limits<double>::infinity());
+  viol_lanes_.assign(W, 0);
+  int active_eps = 0;
+  int disabled_eps = 0;
   const double* setup_ns = oracle_->tables().setup_ns.data();
   for (std::size_t d = 0; d < dom_seq_.size(); ++d) {
     const double* m = &scale_lanes_[d * W];
@@ -433,32 +504,25 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
       const double base_d = st->arrival[dn.index()];
       if (!net_active(dn) ||
           (row != nullptr ? row[0] : base_d) == kNegInf) {
-        for (std::size_t l = 0; l < W; ++l)
-          ++reports[l].num_disabled_endpoints;
+        ++disabled_eps;
         continue;
       }
-      const double setup_raw = setup_ns[i];
-      if (row != nullptr) {
-        for (std::size_t l = 0; l < W; ++l) {
-          TimingReport& rep = reports[l];
-          const double slack = clock_ns - setup_raw * m[l] - row[l];
-          rep.wns_ns = std::min(rep.wns_ns, slack);
-          ++rep.num_active_endpoints;
-          if (slack < 0.0) ++rep.num_violations;
-        }
-      } else {
-        for (std::size_t l = 0; l < W; ++l) {
-          TimingReport& rep = reports[l];
-          const double slack = clock_ns - setup_raw * m[l] - base_d;
-          rep.wns_ns = std::min(rep.wns_ns, slack);
-          ++rep.num_active_endpoints;
-          if (slack < 0.0) ++rep.num_violations;
-        }
-      }
+      ++active_eps;
+      if (row != nullptr)
+        lanes::EndpointFold(wns_lanes_.data(), viol_lanes_.data(), m,
+                            row, clock_ns, setup_ns[i], W);
+      else
+        lanes::EndpointFoldBcast(wns_lanes_.data(), viol_lanes_.data(),
+                                 m, base_d, clock_ns, setup_ns[i], W);
     }
   }
-  for (TimingReport& rep : reports)
-    if (rep.num_active_endpoints == 0) rep.wns_ns = clock_ns;
+  for (std::size_t l = 0; l < W; ++l) {
+    TimingReport& rep = reports[l];
+    rep.wns_ns = active_eps == 0 ? clock_ns : wns_lanes_[l];
+    rep.num_violations = static_cast<int>(viol_lanes_[l]);
+    rep.num_active_endpoints = active_eps;
+    rep.num_disabled_endpoints = disabled_eps;
+  }
 
   // Advance this state's base point to the call's lane 0, scattering
   // only the nets whose lane 0 actually moved.

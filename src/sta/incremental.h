@@ -24,7 +24,12 @@
 ///     max is dominated by an unchanged path);
 ///   * dirty nets carry full W-lane SoA rows (clean lanes broadcast
 ///     the base value), so the recomputation inner loops are the same
-///     mul/add/max lane streams as TimingAnalyzer::AnalyzeBatch.
+///     SIMD mul/add/max lane kernels as TimingAnalyzer::AnalyzeBatch
+///     (sta/lane_kernels.h);
+///   * engine selection is adaptive (DispatchOptions): calls whose
+///     predicted dirty cone exceeds the dense/incremental crossover
+///     are routed straight to the vectorized dense batch oracle,
+///     which is faster there and equally bit-identical.
 ///
 /// Contract: AnalyzeBatch here is *bit-identical* to
 /// TimingAnalyzer::AnalyzeBatch for every call — same FP expressions,
@@ -58,8 +63,44 @@ struct IncrementalStats {
   long lanes = 0;              ///< total lane masks analyzed
   long incremental_hits = 0;   ///< calls served from cached cone state
   long full_fallbacks = 0;     ///< calls that ran a full traversal
+  long dispatch_dense = 0;     ///< calls routed to the dense batch path
+                               ///< by the adaptive dispatcher
   long visited_instances = 0;  ///< instances recomputed on hits
   long scanned_instances = 0;  ///< order length summed over hits
+};
+
+/// Adaptive engine dispatch. The crossover data in
+/// BENCH_sta_batch.json is stark: incremental re-propagation wins
+/// when the dirty cone is a few percent of the design (mode_walk) and
+/// loses to the vectorized dense batch once the cone approaches the
+/// full design (gray_sweep, neighborhood). The dispatcher predicts
+/// the cone of each call as
+///
+///   max(seed_frac, cone EWMA, min(1, seed_frac * amplification))
+///
+/// where `seed_frac` is the instance fraction of the changed domains
+/// (a lower bound known before any propagation), the cone EWMA tracks
+/// observed cone fractions, and `amplification` is a learned EWMA of
+/// observed_cone / seed_frac — the design's fanout blow-up. Calls
+/// whose prediction exceeds `cone_threshold` route straight to the
+/// dense batch oracle: same bit-identical reports, no cone
+/// bookkeeping. The cone EWMA rises fast on observed cones
+/// (`raise_alpha`) and decays slowly toward the seed fraction while
+/// dispatching dense (`decay_alpha`), scheduling a sparse incremental
+/// probe when the workload may have turned local. The amplification
+/// term is what keeps a steady high-cone phase probe-free: once the
+/// engine has seen that small seeds still flood most of the design,
+/// every later small-seed call predicts dense up front instead of
+/// re-discovering the blow-up with a full-price incremental call.
+struct DispatchOptions {
+  bool adaptive = true;
+  double cone_threshold = 0.5;  ///< predicted cone above which the
+                                ///< dense batch path is dispatched
+  double raise_alpha = 0.5;     ///< EWMA weight of an observed cone
+  double decay_alpha = 0.02;    ///< EWMA decay toward the seed
+                                ///< fraction on dense dispatches
+  double amp_alpha = 0.5;       ///< EWMA weight of an observed
+                                ///< cone/seed amplification ratio
 };
 
 class IncrementalSta {
@@ -95,6 +136,14 @@ class IncrementalSta {
 
   const IncrementalStats& stats() const { return stats_; }
   const netlist::Netlist& nl() const { return nl_; }
+
+  /// Adaptive engine dispatch policy (see DispatchOptions). Tests
+  /// that pin exact hit counts disable it; the explorer and benches
+  /// run the default.
+  void set_dispatch(const DispatchOptions& opt) { dispatch_ = opt; }
+  const DispatchOptions& dispatch() const { return dispatch_; }
+  /// Current cone-fraction EWMA of the dispatcher (telemetry).
+  double predicted_cone() const { return ewma_cone_; }
 
   /// The full-traversal engine backing the fallback path (exposed so
   /// callers needing a scalar Analyze — e.g. the explorer's RBB sleep
@@ -145,8 +194,15 @@ class IncrementalSta {
 
   std::vector<std::unique_ptr<BaseState>> states_;
   std::uint64_t lru_tick_ = 0;
-  // Shared context: a domain-map change invalidates every state.
+  // Shared context: a domain-map change invalidates every state. The
+  // map is revalidated by vector identity first (callers pass a
+  // long-lived map, and the O(instances) deep compare would otherwise
+  // dominate small-cone calls); a caller that mutates the mapping in
+  // place must pass a distinct vector object (or Invalidate()) for
+  // the change to register — same contract as every other cached
+  // input here (netlist version, loads).
   bool ctx_valid_ = false;
+  const std::vector<int>* ctx_ptr_ = nullptr;
   std::vector<int> domain_of_;
   // Per-domain instance lists (rebuilt with the context) so a call
   // only touches the changed domains' members, never the full order.
@@ -171,6 +227,12 @@ class IncrementalSta {
   std::vector<double> in_arr_;             // W scratch
   std::vector<double> out_buf_;            // W scratch
   std::vector<std::uint64_t> chg_dom_;     // per domain: changed lanes
+  std::vector<double> wns_lanes_;          // W scratch, capture fold
+  std::vector<std::uint64_t> viol_lanes_;  // W scratch, capture fold
+
+  DispatchOptions dispatch_;
+  double ewma_cone_ = 0.0;  // observed dirty-cone fraction EWMA
+  double ewma_amp_ = 1.0;   // observed cone/seed amplification EWMA
 
   IncrementalStats stats_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "sta/lane_kernels.h"
 
 namespace adq::sta {
 
@@ -49,74 +50,130 @@ void DelayTables::Build(const Netlist& nl, const tech::CellLibrary& lib,
 }
 
 void TimingAnalyzer::SetLoads(const place::NetLoads& loads) {
+  last_batch_sched_ = nullptr;  // aliases the schedule cache
   tab_.Build(nl_, lib_, loads);
+  // The schedules hoist base/wire delays out of the tables; rebuild.
+  schedules_.clear();
 }
 
-/// The one arrival sweep behind every Analyze* entry point. `arr`
-/// holds `lanes` arrival values per net (lane-major within a net);
-/// `mult_row(i)` returns a pointer to the `lanes` delay multipliers of
-/// instance i. Whether a net/cone is active is a pure function of the
-/// netlist and the case analysis — never of the multipliers — so one
-/// activity check serves every lane, and the per-lane inner loops are
-/// branch-free streams of mul/add/max the compiler can vectorize.
-///
-/// With lanes == 1 this is exactly the historical scalar sweep (same
-/// expressions, same order), which keeps the golden pins intact.
-template <typename MultRow>
-void TimingAnalyzer::PropagateArrivals(std::size_t lanes, double* arr,
-                                       const netlist::CaseAnalysis* ca,
-                                       const MultRow& mult_row) {
+const TimingAnalyzer::SweepSchedule& TimingAnalyzer::ScheduleFor(
+    const netlist::CaseAnalysis* ca) {
+  const bool has_ca = ca != nullptr;
+  const std::uint64_t fp = has_ca ? ca->fingerprint() : 0;
+  for (const auto& s : schedules_)
+    if (s->has_ca == has_ca && s->ca_fp == fp) {
+      s->tick = ++sched_tick_;
+      return *s;
+    }
+
   auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
+  auto sched = std::make_unique<SweepSchedule>();
+  sched->has_ca = has_ca;
+  sched->ca_fp = fp;
+  sched->tick = ++sched_tick_;
+  sched->reached.assign(nl_.num_nets(), 0);
 
-  std::fill(arr, arr + nl_.num_nets() * lanes, kNegInf);
-
-  // Launch: DFF Q pins (clk->Q scaled by the register's own bias) and
-  // primary-input ports (arrive at the clock edge).
+  // Launch points: DFF Q pins (clk->Q scaled by the register's own
+  // bias) and primary-input ports (arrive at the clock edge).
   for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
     const netlist::Instance& inst = nl_.instances()[i];
     if (!inst.is_sequential()) continue;
     const NetId q = inst.out[0];
     if (!net_active(q)) continue;
-    const double* m = mult_row(i);
-    double* a = arr + q.index() * lanes;
-    // clk->Q: intrinsic + load-dependent part, plus the Q net's wire.
-    for (std::size_t l = 0; l < lanes; ++l)
-      a[l] = tab_.base_delay[2 * i] * m[l] + tab_.wire_delay[2 * i];
+    sched->launches.push_back({i, static_cast<std::uint32_t>(q.index()),
+                               tab_.base_delay[2 * i],
+                               tab_.wire_delay[2 * i]});
+    sched->reached[q.index()] = 1;
   }
   for (const NetId pi : nl_.primary_inputs()) {
     if (!net_active(pi)) continue;
-    double* a = arr + pi.index() * lanes;
-    for (std::size_t l = 0; l < lanes; ++l) a[l] = 0.0;
+    sched->pis.push_back(pi.index());
+    sched->reached[pi.index()] = 1;
   }
 
-  // Topological propagation through active arcs.
-  if (lanes > lane_scratch_.size()) lane_scratch_.resize(lanes);
-  double* in_arr = lane_scratch_.data();
+  // Active cells in topological order. Reachability (a finite arrival
+  // in the fill-then-walk formulation) is a pure function of the
+  // graph and the case analysis, never of the delay multipliers, so
+  // it is resolved here once: an active-but-unreached input pin would
+  // read -inf — the identity of the max fold — and is dropped; a cell
+  // with no reached input is skipped entirely (its outputs stay
+  // unreached, exactly the historical `in_arr[0] == -inf` skip).
   for (const InstId id : order_) {
     const std::uint32_t i = id.value;
     const netlist::Instance& inst = nl_.instances()[i];
-    for (std::size_t l = 0; l < lanes; ++l) in_arr[l] = kNegInf;
+    SweepCell c;
+    c.inst = i;
     for (int p = 0; p < inst.num_inputs(); ++p) {
       const NetId in = inst.in[p];
-      if (!net_active(in)) continue;
-      const double* a = arr + in.index() * lanes;
-      for (std::size_t l = 0; l < lanes; ++l)
-        in_arr[l] = std::max(in_arr[l], a[l]);
+      if (!net_active(in) || !sched->reached[in.index()]) continue;
+      c.in_net[c.nin++] = in.index();
     }
-    // A net is reachable from an active launch (finite arrival) as a
-    // function of the graph and the case analysis only, so lane 0
-    // speaks for every lane.
-    if (in_arr[0] == kNegInf) continue;  // fully constant / unreachable
-    const double* m = mult_row(i);
+    if (c.nin == 0) continue;
     for (int o = 0; o < inst.num_outputs(); ++o) {
       const NetId out = inst.out[o];
       if (!net_active(out)) continue;
-      double* a = arr + out.index() * lanes;
-      const double base = tab_.base_delay[2 * i + (std::size_t)o];
-      const double wire = tab_.wire_delay[2 * i + (std::size_t)o];
-      for (std::size_t l = 0; l < lanes; ++l)
-        a[l] = in_arr[l] + base * m[l] + wire;
+      c.out_net[c.nout] = out.index();
+      c.base[c.nout] = tab_.base_delay[2 * i + (std::size_t)o];
+      c.wire[c.nout] = tab_.wire_delay[2 * i + (std::size_t)o];
+      sched->reached[out.index()] = 1;
+      ++c.nout;
     }
+    if (c.nout == 0) continue;
+    sched->cells.push_back(c);
+  }
+
+  if (schedules_.size() >= kMaxSchedules) {
+    std::size_t lru = 0;
+    for (std::size_t k = 1; k < schedules_.size(); ++k)
+      if (schedules_[k]->tick < schedules_[lru]->tick) lru = k;
+    schedules_[lru] = std::move(sched);
+    return *schedules_[lru];
+  }
+  schedules_.push_back(std::move(sched));
+  return *schedules_.back();
+}
+
+/// The one arrival sweep behind every Analyze* entry point. `arr`
+/// holds `lanes` arrival values per net (lane-major within a net);
+/// `mult_row(i)` returns a pointer to the `lanes` delay multipliers of
+/// instance i. The sweep walks the case-analysis-specialized schedule
+/// (see ScheduleFor): per cell one fused lane kernel — input max fold
+/// and output arcs with the accumulator in registers, base/wire
+/// delays broadcast from the schedule, F64::kWidth lanes per
+/// instruction (sta/lane_kernels.h). Rows of unreached nets are never
+/// cleared or written on the hot paths; `sched.reached` is the oracle
+/// for "finite arrival" everywhere they used to be read.
+///
+/// With lanes == 1 every kernel reduces to its scalar tail — exactly
+/// the historical scalar sweep (same expressions, same order) — which
+/// keeps the golden pins intact.
+template <typename MultRow>
+void TimingAnalyzer::PropagateArrivals(std::size_t lanes, double* arr,
+                                       const SweepSchedule& sched,
+                                       const MultRow& mult_row,
+                                       bool clear_all) {
+  if (clear_all) std::fill(arr, arr + nl_.num_nets() * lanes, kNegInf);
+
+  for (const SweepLaunch& r : sched.launches)
+    // clk->Q: intrinsic + load-dependent part, plus the Q net's wire.
+    lanes::Launch(arr + r.q_net * lanes, mult_row(r.inst), r.base, r.wire,
+                  lanes);
+  for (const std::uint32_t pi : sched.pis) {
+    double* a = arr + pi * lanes;
+    for (std::size_t l = 0; l < lanes; ++l) a[l] = 0.0;
+  }
+
+  for (const SweepCell& c : sched.cells) {
+    const double* in_rows[tech::kMaxCellInputs];
+    for (int k = 0; k < c.nin; ++k) in_rows[k] = arr + c.in_net[k] * lanes;
+    lanes::OutArc outs[tech::kMaxCellOutputs];
+    for (int o = 0; o < c.nout; ++o) {
+      outs[o].out = arr + c.out_net[o] * lanes;
+      outs[o].base = c.base[o];
+      outs[o].wire = c.wire[o];
+    }
+    lanes::PropagateCell(in_rows, c.nin, outs, c.nout, mult_row(c.inst),
+                         kNegInf, lanes);
   }
 }
 
@@ -137,12 +194,13 @@ TimingReport TimingAnalyzer::Analyze(
     return bias_of_inst.empty() ? 0
                                 : static_cast<int>(bias_of_inst[i]);
   };
-  auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
 
-  PropagateArrivals(1, arrival_.data(), ca,
+  const SweepSchedule& sched = ScheduleFor(ca);
+  PropagateArrivals(1, arrival_.data(), sched,
                     [&](std::uint32_t i) { return &scale[bias_of(i)]; });
 
-  // Capture: every DFF D pin is an endpoint.
+  // Capture: every DFF D pin is an endpoint. `reached` is exactly the
+  // historical "active net with a finite arrival" predicate.
   TimingReport rep;
   for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
     const netlist::Instance& inst = nl_.instances()[i];
@@ -150,14 +208,13 @@ TimingReport TimingAnalyzer::Analyze(
     const NetId d = inst.in[0];
     const int b = bias_of(i);
     const double setup = tab_.setup_ns[i] * scale[b];
-    const double arr = arrival_[d.index()];
-    const bool active = net_active(d) && arr != kNegInf;
+    const bool active = sched.reached[d.index()] != 0;
     EndpointTiming ep;
     ep.reg = InstId(i);
     ep.active = active;
     if (active) {
-      ep.arrival_ns = arr;
-      ep.slack_ns = clock_ns - setup - arr;
+      ep.arrival_ns = arrival_[d.index()];
+      ep.slack_ns = clock_ns - setup - ep.arrival_ns;
       rep.wns_ns = std::min(rep.wns_ns, ep.slack_ns);
       ++rep.num_active_endpoints;
       if (ep.slack_ns < 0.0) ++rep.num_violations;
@@ -199,37 +256,43 @@ std::vector<TimingReport> TimingAnalyzer::AnalyzeBatch(
       scale_lanes_[static_cast<std::size_t>(d) * W + l] =
           ((lane_masks[l] >> d) & 1u) ? fbb : nobb;
 
+  const SweepSchedule& sched = ScheduleFor(ca);
   arrival_lanes_.resize(nl_.num_nets() * W);
   last_batch_lanes_ = W;
-  PropagateArrivals(W, arrival_lanes_.data(), ca, [&](std::uint32_t i) {
+  last_batch_sched_ = &sched;
+  PropagateArrivals(W, arrival_lanes_.data(), sched, [&](std::uint32_t i) {
     return &scale_lanes_[static_cast<std::size_t>(domain_of_inst[i]) * W];
   });
 
-  auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
+  // Capture fold over SoA accumulators: wns is a per-lane min fold in
+  // instance order (exactly the scalar fold order), violations count
+  // via lane compares, and the endpoint counts are lane-invariant
+  // (`reached` is the historical active-and-finite predicate).
+  wns_lanes_.assign(W, std::numeric_limits<double>::infinity());
+  viol_lanes_.assign(W, 0);
+  int active_eps = 0;
+  int disabled_eps = 0;
   for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {
     const netlist::Instance& inst = nl_.instances()[i];
     if (!inst.is_sequential()) continue;
     const NetId d = inst.in[0];
-    const double* m =
-        &scale_lanes_[static_cast<std::size_t>(domain_of_inst[i]) * W];
-    const double* arr = &arrival_lanes_[d.index() * W];
-    // Active is lane-invariant (see PropagateArrivals).
-    const bool active = net_active(d) && arr[0] != kNegInf;
-    for (std::size_t l = 0; l < W; ++l) {
-      TimingReport& rep = reports[l];
-      if (!active) {
-        ++rep.num_disabled_endpoints;
-        continue;
-      }
-      const double setup = tab_.setup_ns[i] * m[l];
-      const double slack = clock_ns - setup - arr[l];
-      rep.wns_ns = std::min(rep.wns_ns, slack);
-      ++rep.num_active_endpoints;
-      if (slack < 0.0) ++rep.num_violations;
+    if (!sched.reached[d.index()]) {
+      ++disabled_eps;
+      continue;
     }
+    ++active_eps;
+    lanes::EndpointFold(
+        wns_lanes_.data(), viol_lanes_.data(),
+        &scale_lanes_[static_cast<std::size_t>(domain_of_inst[i]) * W],
+        &arrival_lanes_[d.index() * W], clock_ns, tab_.setup_ns[i], W);
   }
-  for (TimingReport& rep : reports)
-    if (rep.num_active_endpoints == 0) rep.wns_ns = clock_ns;
+  for (std::size_t l = 0; l < W; ++l) {
+    TimingReport& rep = reports[l];
+    rep.wns_ns = active_eps == 0 ? clock_ns : wns_lanes_[l];
+    rep.num_violations = static_cast<int>(viol_lanes_[l]);
+    rep.num_active_endpoints = active_eps;
+    rep.num_disabled_endpoints = disabled_eps;
+  }
   return reports;
 }
 
@@ -240,9 +303,9 @@ TimingReport TimingAnalyzer::AnalyzeWithScales(
   static obs::Counter& scaled_calls =
       obs::GetCounter("sta.analyze_scaled_calls");
   scaled_calls.Add();
-  auto net_active = [&](NetId n) { return ca == nullptr || !ca->IsConstant(n); };
 
-  PropagateArrivals(1, arrival_.data(), ca,
+  const SweepSchedule& sched = ScheduleFor(ca);
+  PropagateArrivals(1, arrival_.data(), sched,
                     [&](std::uint32_t i) { return &scale_of_inst[i]; });
 
   TimingReport rep;
@@ -251,12 +314,11 @@ TimingReport TimingAnalyzer::AnalyzeWithScales(
     if (!inst.is_sequential()) continue;
     const NetId d = inst.in[0];
     const double setup = tab_.setup_ns[i] * scale_of_inst[i];
-    const double arr = arrival_[d.index()];
-    if (!net_active(d) || arr == kNegInf) {
+    if (!sched.reached[d.index()]) {
       ++rep.num_disabled_endpoints;
       continue;
     }
-    const double slack = clock_ns - setup - arr;
+    const double slack = clock_ns - setup - arrival_[d.index()];
     rep.wns_ns = std::min(rep.wns_ns, slack);
     ++rep.num_active_endpoints;
     if (slack < 0.0) ++rep.num_violations;
@@ -284,9 +346,12 @@ TimingAnalyzer::DetailedTiming TimingAnalyzer::AnalyzeDetailed(
   dt.arrival.resize(nl_.num_nets());
   dt.required.assign(nl_.num_nets(), kPosInf);
 
-  // Forward sweep (the exact kernel Analyze runs).
-  PropagateArrivals(1, dt.arrival.data(), ca,
-                    [&](std::uint32_t i) { return &scale[bias_of(i)]; });
+  // Forward sweep (the exact kernel Analyze runs). clear_all: the
+  // returned buffer is read for arbitrary nets, so unreached rows
+  // must hold their historical -inf.
+  PropagateArrivals(1, dt.arrival.data(), ScheduleFor(ca),
+                    [&](std::uint32_t i) { return &scale[bias_of(i)]; },
+                    /*clear_all=*/true);
 
   // Backward sweep: required time at capture D pins, propagated back.
   for (std::uint32_t i = 0; i < nl_.num_instances(); ++i) {

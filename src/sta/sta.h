@@ -31,6 +31,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -156,9 +157,25 @@ class TimingAnalyzer {
   /// Per-net arrival lanes of the most recent AnalyzeBatch call
   /// (net n, lane l at [n * W + l]; valid until the next Analyze*).
   /// Engine-support hook: IncrementalSta's full-traversal fallback
-  /// seeds its cached base state from lane 0 of this buffer.
+  /// seeds its cached base state from lane 0 of this buffer. Only the
+  /// rows of nets flagged in LastBatchReached() are defined — the hot
+  /// sweep never clears (or writes) the rows of unreached nets.
   std::span<const double> LastBatchArrivals() const {
     return {arrival_lanes_.data(), last_batch_lanes_ * nl_.num_nets()};
+  }
+
+  /// Per-net flags of the most recent AnalyzeBatch call: 1 iff the
+  /// net is active under the call's case analysis AND reachable from
+  /// an active launch point — exactly the nets whose arrival rows the
+  /// sweep wrote (and exactly the nets the historical full-clear
+  /// sweep would have left finite). Everything else is semantically
+  /// -inf. Like LastBatchArrivals, valid only until the next Analyze*
+  /// (the span aliases the cached sweep schedule, which the LRU may
+  /// recycle on a later call).
+  std::span<const std::uint8_t> LastBatchReached() const {
+    if (last_batch_sched_ == nullptr) return {};
+    return {last_batch_sched_->reached.data(),
+            last_batch_sched_->reached.size()};
   }
 
  private:
@@ -169,16 +186,62 @@ class TimingAnalyzer {
   // Precomputed unscaled delay model; see DelayTables.
   DelayTables tab_;
 
+  /// One case-analysis-specialized sweep schedule: the launch points,
+  /// the active+reachable cells in topological order with their pin
+  /// rows and broadcast delays hoisted, and the reachability bitmap.
+  /// A sweep over the schedule touches nothing but arrival rows that
+  /// it writes — no instance table, no per-pin IsConstant, no global
+  /// buffer clear — while computing bit-for-bit the arrivals of the
+  /// historical fill-then-walk formulation (an active-but-unreached
+  /// input pin reads -inf there, the identity of the max fold, so
+  /// dropping it from the schedule changes nothing).
+  struct SweepLaunch {
+    std::uint32_t inst;
+    std::uint32_t q_net;
+    double base, wire;  // clk->Q intrinsic + Q wire, from DelayTables
+  };
+  struct SweepCell {
+    std::uint32_t inst;
+    std::uint8_t nin = 0, nout = 0;
+    std::uint32_t in_net[tech::kMaxCellInputs] = {};
+    std::uint32_t out_net[tech::kMaxCellOutputs] = {};
+    double base[tech::kMaxCellOutputs] = {};
+    double wire[tech::kMaxCellOutputs] = {};
+  };
+  struct SweepSchedule {
+    bool has_ca = false;
+    std::uint64_t ca_fp = 0;  // CaseAnalysis::fingerprint(); 0 if none
+    long tick = 0;            // LRU stamp
+    std::vector<SweepLaunch> launches;
+    std::vector<std::uint32_t> pis;  // active primary-input nets
+    std::vector<SweepCell> cells;
+    std::vector<std::uint8_t> reached;  // per net; see LastBatchReached
+  };
+  /// Returns the cached schedule for `ca` (keyed on its fingerprint),
+  /// building and LRU-caching it on first use. Invalidated by
+  /// SetLoads (the hoisted base/wire delays change).
+  const SweepSchedule& ScheduleFor(const netlist::CaseAnalysis* ca);
+
+  static constexpr std::size_t kMaxSchedules = 8;
+  std::vector<std::unique_ptr<SweepSchedule>> schedules_;
+  long sched_tick_ = 0;
+
   std::vector<double> arrival_;        // per net, scratch (W = 1)
   std::size_t last_batch_lanes_ = 0;   // W of the last AnalyzeBatch
   std::vector<double> arrival_lanes_;  // per net x lane, batch scratch
-  std::vector<double> lane_scratch_;   // W doubles, batch input-max
+  const SweepSchedule* last_batch_sched_ = nullptr;  // see LastBatchReached
   std::vector<double> scale_lanes_;    // per domain x lane, batch scales
+  std::vector<double> wns_lanes_;      // W doubles, batch capture fold
+  std::vector<std::uint64_t> viol_lanes_;  // W counts, batch capture fold
 
+  /// `clear_all` pre-fills every arrival row with -inf before the
+  /// sweep (AnalyzeDetailed: its caller reads arbitrary nets from the
+  /// returned buffer); the hot entry points skip it and consult
+  /// `sched.reached` instead.
   template <typename MultRow>
   void PropagateArrivals(std::size_t lanes, double* arr,
-                         const netlist::CaseAnalysis* ca,
-                         const MultRow& mult_row);
+                         const SweepSchedule& sched,
+                         const MultRow& mult_row, bool clear_all = false);
 };
 
 }  // namespace adq::sta

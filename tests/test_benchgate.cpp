@@ -227,5 +227,90 @@ TEST(BenchGate, ThinHistoryIsAdvisory) {
   EXPECT_FALSE(AnyRegression(verdicts));
 }
 
+TEST(BenchGate, SimdBackendAndAdaptiveSeriesAreExtracted) {
+  const std::string body = R"({
+    "schema_version": 2, "bench": "sta_batch", "build": "abc123",
+    "ts_utc": "2026-08-09T01:02:03Z", "host": "box", "hardware_threads": 16,
+    "simd_backend": "avx2", "simd_masks_per_sec": 650000.0,
+    "adaptive_speedup_gray_sweep": 1.1,
+    "adaptive_speedup_neighborhood": 1.05,
+    "adaptive_speedup_mode_walk": 2.3})";
+  std::string err;
+  const util::Json doc = util::Json::Parse(body, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  BenchRun run;
+  ASSERT_TRUE(ExtractBenchRun(doc, &run, &err)) << err;
+  EXPECT_EQ(run.simd_backend, "avx2");
+  EXPECT_DOUBLE_EQ(run.series.at("simd_masks_per_sec"), 650000.0);
+  EXPECT_DOUBLE_EQ(run.series.at("adaptive_speedup_gray_sweep"), 1.1);
+  EXPECT_DOUBLE_EQ(run.series.at("adaptive_speedup_neighborhood"), 1.05);
+  EXPECT_DOUBLE_EQ(run.series.at("adaptive_speedup_mode_walk"), 2.3);
+}
+
+TEST(BenchGate, SimdBackendRoundTripsAndLegacyRowsStayByteStable) {
+  // Tagged rows round-trip the backend; untagged rows must not grow a
+  // key (the history file is append-only and diffed byte-for-byte).
+  BenchRun tagged = MakeRun("sta_batch", "abc123", "box", 1000.0, 5.0);
+  tagged.simd_backend = "avx2";
+  const std::string line = RunToJsonLine(tagged);
+  EXPECT_NE(line.find("\"simd_backend\": \"avx2\""), std::string::npos)
+      << line;
+  BenchRun back;
+  std::string err;
+  ASSERT_TRUE(ParseHistoryLine(line, &back, &err)) << err;
+  EXPECT_EQ(back.simd_backend, "avx2");
+
+  const BenchRun legacy = MakeRun("sta_batch", "abc123", "box", 1000.0, 5.0);
+  const std::string legacy_line = RunToJsonLine(legacy);
+  EXPECT_EQ(legacy_line.find("simd_backend"), std::string::npos)
+      << legacy_line;
+  ASSERT_TRUE(ParseHistoryLine(legacy_line, &back, &err)) << err;
+  EXPECT_EQ(back.simd_backend, "");
+}
+
+TEST(BenchGate, BackendMismatchedBaselinesDoNotCount) {
+  // A scalar-fallback history must not gate an AVX2 run (or vice
+  // versa), and untagged pre-SIMD rows must not gate any tagged run:
+  // each backend tag starts its own baseline.
+  std::vector<BenchRun> hist;
+  for (int i = 0; i < 3; ++i)
+    hist.push_back(MakeRun("sta_batch", "a1", "box", 9000.0, 5.0));
+  for (int i = 0; i < 3; ++i) {
+    hist.push_back(MakeRun("sta_batch", "a2", "box", 8000.0, 5.0));
+    hist.back().simd_backend = "scalar";
+  }
+  BenchRun fresh = MakeRun("sta_batch", "f", "box", 500.0, 5.0);
+  fresh.simd_backend = "avx2";
+  const auto verdicts = GateRun(fresh, hist, GateOptions{});
+  for (const auto& v : verdicts) {
+    EXPECT_TRUE(v.advisory) << v.series;
+    EXPECT_EQ(v.baseline_n, 0) << v.series;
+  }
+  EXPECT_FALSE(AnyRegression(verdicts));
+
+  // Rows with the matching tag re-arm the gate for that backend...
+  for (int i = 0; i < 3; ++i) {
+    hist.push_back(MakeRun("sta_batch", "a3", "box", 7000.0, 5.0));
+    hist.back().simd_backend = "avx2";
+  }
+  EXPECT_TRUE(AnyRegression(GateRun(fresh, hist, GateOptions{})));
+
+  // ...an untagged fresh run still gates against untagged history...
+  const BenchRun legacy_fresh = MakeRun("sta_batch", "f2", "box", 500.0, 5.0);
+  EXPECT_TRUE(AnyRegression(GateRun(legacy_fresh, hist, GateOptions{})));
+
+  // ...and same_backend_only=false pools every row again.
+  GateOptions pooled;
+  pooled.same_backend_only = false;
+  const auto pooled_verdicts = GateRun(fresh, hist, pooled);
+  bool saw_scalar_series = false;
+  for (const auto& v : pooled_verdicts)
+    if (v.series == "scalar_masks_per_sec") {
+      EXPECT_EQ(v.baseline_n, 8);  // window caps the pooled 9
+      saw_scalar_series = true;
+    }
+  EXPECT_TRUE(saw_scalar_series);
+}
+
 }  // namespace
 }  // namespace adq::obs

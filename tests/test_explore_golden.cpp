@@ -146,15 +146,21 @@ TEST(ExploreGolden, EngineAndThreadCountInvariant) {
       if (engine == StaEngine::kBatch) {
         EXPECT_EQ(r.stats.sta_incremental_hits, 0);
         EXPECT_EQ(r.stats.sta_full_fallbacks, 0);
+        EXPECT_EQ(r.stats.sta_dispatch_dense, 0);
       } else {
-        // Every engine call is one or the other; the first call of
-        // each context is always a fallback.
+        // Every engine call is a fallback, an incremental hit, or an
+        // adaptive dense dispatch; the first call of each context is
+        // always a fallback.
         EXPECT_GT(r.stats.sta_full_fallbacks, 0);
         // Hit counts depend on how chunks land on workers, so they
         // are only guaranteed (and deterministic) on the serial
         // schedule: with 8 workers this tiny fixture can spread its
         // few chunks one-per-engine.
-        if (nt == 1) EXPECT_GT(r.stats.sta_incremental_hits, 0);
+        if (nt == 1) {
+          EXPECT_GT(r.stats.sta_incremental_hits +
+                        r.stats.sta_dispatch_dense,
+                    0);
+        }
       }
       ASSERT_EQ(r.modes.size(), ref.modes.size());
       for (std::size_t i = 0; i < ref.modes.size(); ++i) {

@@ -1,0 +1,564 @@
+/// Contracts of the portable SIMD layer (util/simd.h) and the lane
+/// kernels built on it (sta/lane_kernels.h):
+///
+///   * every vector primitive is elementwise bit-identical to the
+///     scalar C++ expression documented next to it — exhaustively
+///     over a pool of special values (±0, ±inf, NaN, denormals,
+///     extremes), so NaN propagation, signed-zero selection and
+///     ordered-compare semantics are pinned, not assumed;
+///   * every lane kernel matches its reference scalar loop at every
+///     row length around the vector-width boundaries (tails of
+///     1..2*kWidth+3 lanes), and never writes a byte past row[n) —
+///     canary-guarded;
+///   * the batched STA sweep built from these kernels stays
+///     bit-identical to scalar Analyze across all four generator
+///     families x operator widths {8,16,32}, and its arrival lanes
+///     are NaN/∞-free on every reached net.
+///
+/// The same binary compiled with -DADQ_SIMD=OFF runs this file on the
+/// guaranteed scalar backend; CI's simd-off leg relies on that to
+/// prove the fallback and the vector backends are interchangeable.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/accuracy.h"
+#include "core/explore.h"
+#include "core/flow.h"
+#include "gen/operator.h"
+#include "sta/lane_kernels.h"
+#include "sta/sta.h"
+#include "util/simd.h"
+
+namespace adq {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNegInf = -kInf;
+
+const tech::CellLibrary& Lib() {
+  static const tech::CellLibrary lib;
+  return lib;
+}
+
+/// Bit-level equality: distinguishes -0.0 from 0.0 and compares NaNs
+/// by payload — the layer's contract is "same bits as the scalar
+/// expression", not "compares equal".
+bool SameBits(double a, double b) {
+  std::uint64_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+bool SameBitsF(float a, float b) {
+  std::uint32_t ba, bb;
+  std::memcpy(&ba, &a, sizeof(ba));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ba == bb;
+}
+
+/// For arithmetic results only: IEEE-754 leaves the surviving NaN
+/// payload unspecified when both operands are NaN (and +/- add/mul
+/// commute, so the scalar reference may evaluate b+a), so two NaNs
+/// always match; everything else — including signed zeros — must be
+/// bit-identical. Select/Min/Max route whole operands and stay on the
+/// strict SameBits check.
+bool ArithBits(double r, double want) {
+  return SameBits(r, want) || (std::isnan(r) && std::isnan(want));
+}
+bool ArithBitsF(float r, float want) {
+  return SameBitsF(r, want) || (std::isnan(r) && std::isnan(want));
+}
+
+/// The special-value pool every pairwise primitive test sweeps.
+const std::vector<double>& Specials() {
+  static const std::vector<double> v = {
+      0.0,
+      -0.0,
+      kInf,
+      kNegInf,
+      std::numeric_limits<double>::quiet_NaN(),
+      -std::numeric_limits<double>::quiet_NaN(),
+      std::numeric_limits<double>::denorm_min(),
+      -std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      -std::numeric_limits<double>::max(),
+      1.5,
+      -2.25,
+      1e-300,
+      -1e300,
+      3.7,
+  };
+  return v;
+}
+
+/// Loads lane i with a[(i + rot) % pool] — every lane sees a
+/// different special value, so lane crosstalk would be caught.
+simd::F64 LoadRot(const std::vector<double>& pool, std::size_t rot,
+                  double* out) {
+  for (int i = 0; i < simd::F64::kWidth; ++i)
+    out[i] = pool[(rot + static_cast<std::size_t>(i)) % pool.size()];
+  return simd::F64::Load(out);
+}
+
+TEST(SimdF64, ArithmeticMatchesScalarExpressionOnSpecials) {
+  const auto& pool = Specials();
+  double a[simd::F64::kWidth], b[simd::F64::kWidth],
+      r[simd::F64::kWidth];
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      const simd::F64 va = LoadRot(pool, i, a);
+      const simd::F64 vb = LoadRot(pool, j, b);
+      SCOPED_TRACE("rot i=" + std::to_string(i) + " j=" +
+                   std::to_string(j));
+      simd::Add(va, vb).Store(r);
+      for (int l = 0; l < simd::F64::kWidth; ++l)
+        EXPECT_TRUE(ArithBits(r[l], a[l] + b[l])) << "Add lane " << l;
+      simd::Sub(va, vb).Store(r);
+      for (int l = 0; l < simd::F64::kWidth; ++l)
+        EXPECT_TRUE(ArithBits(r[l], a[l] - b[l])) << "Sub lane " << l;
+      simd::Mul(va, vb).Store(r);
+      for (int l = 0; l < simd::F64::kWidth; ++l)
+        EXPECT_TRUE(ArithBits(r[l], a[l] * b[l])) << "Mul lane " << l;
+    }
+}
+
+TEST(SimdF64, CompareSelectMinMaxMatchStdSemantics) {
+  const auto& pool = Specials();
+  double a[simd::F64::kWidth], b[simd::F64::kWidth],
+      r[simd::F64::kWidth];
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      const simd::F64 va = LoadRot(pool, i, a);
+      const simd::F64 vb = LoadRot(pool, j, b);
+      SCOPED_TRACE("rot i=" + std::to_string(i) + " j=" +
+                   std::to_string(j));
+      // Max/Min pin the std::max/std::min ternaries — including which
+      // operand survives on NaN and on ±0 ties (both compare false).
+      simd::Max(va, vb).Store(r);
+      for (int l = 0; l < simd::F64::kWidth; ++l)
+        EXPECT_TRUE(SameBits(r[l], a[l] < b[l] ? b[l] : a[l]))
+            << "Max lane " << l;
+      simd::Min(va, vb).Store(r);
+      for (int l = 0; l < simd::F64::kWidth; ++l)
+        EXPECT_TRUE(SameBits(r[l], b[l] < a[l] ? b[l] : a[l]))
+            << "Min lane " << l;
+      // Movemask compares: ordered < (false on NaN), unordered !=
+      // (true on NaN) — the C++ operators exactly.
+      const unsigned lt = simd::LtMask(va, vb);
+      const unsigned neq = simd::NeqMask(va, vb);
+      for (int l = 0; l < simd::F64::kWidth; ++l) {
+        EXPECT_EQ((lt >> l) & 1u, a[l] < b[l] ? 1u : 0u)
+            << "LtMask lane " << l;
+        EXPECT_EQ((neq >> l) & 1u, a[l] != b[l] ? 1u : 0u)
+            << "NeqMask lane " << l;
+      }
+      // Select routes lane l from its mask lane alone.
+      simd::Select(simd::Lt(va, vb), va, vb).Store(r);
+      for (int l = 0; l < simd::F64::kWidth; ++l)
+        EXPECT_TRUE(SameBits(r[l], a[l] < b[l] ? a[l] : b[l]))
+            << "Select lane " << l;
+    }
+}
+
+TEST(SimdF32, PrimitivesMatchScalarExpressionOnSpecials) {
+  std::vector<float> pool = {0.0f,
+                             -0.0f,
+                             std::numeric_limits<float>::infinity(),
+                             -std::numeric_limits<float>::infinity(),
+                             std::numeric_limits<float>::quiet_NaN(),
+                             std::numeric_limits<float>::denorm_min(),
+                             std::numeric_limits<float>::max(),
+                             -std::numeric_limits<float>::max(),
+                             1.5f,
+                             -2.25f,
+                             3.7f};
+  float a[simd::F32::kWidth], b[simd::F32::kWidth], r[simd::F32::kWidth];
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      for (int l = 0; l < simd::F32::kWidth; ++l) {
+        a[l] = pool[(i + static_cast<std::size_t>(l)) % pool.size()];
+        b[l] = pool[(j + static_cast<std::size_t>(l)) % pool.size()];
+      }
+      const simd::F32 va = simd::F32::Load(a);
+      const simd::F32 vb = simd::F32::Load(b);
+      SCOPED_TRACE("rot i=" + std::to_string(i) + " j=" +
+                   std::to_string(j));
+      simd::Add(va, vb).Store(r);
+      for (int l = 0; l < simd::F32::kWidth; ++l)
+        EXPECT_TRUE(ArithBitsF(r[l], a[l] + b[l])) << "Add lane " << l;
+      simd::Sub(va, vb).Store(r);
+      for (int l = 0; l < simd::F32::kWidth; ++l)
+        EXPECT_TRUE(ArithBitsF(r[l], a[l] - b[l])) << "Sub lane " << l;
+      simd::Mul(va, vb).Store(r);
+      for (int l = 0; l < simd::F32::kWidth; ++l)
+        EXPECT_TRUE(ArithBitsF(r[l], a[l] * b[l])) << "Mul lane " << l;
+      simd::Max(va, vb).Store(r);
+      for (int l = 0; l < simd::F32::kWidth; ++l)
+        EXPECT_TRUE(SameBitsF(r[l], a[l] < b[l] ? b[l] : a[l]))
+            << "Max lane " << l;
+      simd::Min(va, vb).Store(r);
+      for (int l = 0; l < simd::F32::kWidth; ++l)
+        EXPECT_TRUE(SameBitsF(r[l], b[l] < a[l] ? b[l] : a[l]))
+            << "Min lane " << l;
+      const unsigned lt = simd::LtMask(va, vb);
+      for (int l = 0; l < simd::F32::kWidth; ++l)
+        EXPECT_EQ((lt >> l) & 1u, a[l] < b[l] ? 1u : 0u)
+            << "LtMask lane " << l;
+    }
+}
+
+TEST(SimdU64, IntegerOpsExactOnBoundaryPatterns) {
+  const std::vector<std::uint64_t> pool = {
+      0ull,
+      1ull,
+      ~0ull,
+      1ull << 63,
+      (1ull << 63) - 1,
+      0x5555555555555555ull,
+      0xaaaaaaaaaaaaaaaaull,
+      0x00000000ffffffffull,
+      0xdeadbeefcafebabeull,
+      42ull};
+  std::uint64_t a[simd::U64::kWidth], b[simd::U64::kWidth],
+      r[simd::U64::kWidth];
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      for (int l = 0; l < simd::U64::kWidth; ++l) {
+        a[l] = pool[(i + static_cast<std::size_t>(l)) % pool.size()];
+        b[l] = pool[(j + static_cast<std::size_t>(l)) % pool.size()];
+      }
+      const simd::U64 va = simd::U64::Load(a);
+      const simd::U64 vb = simd::U64::Load(b);
+      SCOPED_TRACE("rot i=" + std::to_string(i) + " j=" +
+                   std::to_string(j));
+      simd::Add(va, vb).Store(r);
+      for (int l = 0; l < simd::U64::kWidth; ++l)
+        EXPECT_EQ(r[l], a[l] + b[l]) << "Add lane " << l;  // mod 2^64
+      simd::SubU(va, vb).Store(r);
+      for (int l = 0; l < simd::U64::kWidth; ++l)
+        EXPECT_EQ(r[l], a[l] - b[l]) << "SubU lane " << l;
+      simd::And(va, vb).Store(r);
+      for (int l = 0; l < simd::U64::kWidth; ++l)
+        EXPECT_EQ(r[l], a[l] & b[l]) << "And lane " << l;
+      simd::Or(va, vb).Store(r);
+      for (int l = 0; l < simd::U64::kWidth; ++l)
+        EXPECT_EQ(r[l], a[l] | b[l]) << "Or lane " << l;
+      simd::Xor(va, vb).Store(r);
+      for (int l = 0; l < simd::U64::kWidth; ++l)
+        EXPECT_EQ(r[l], a[l] ^ b[l]) << "Xor lane " << l;
+      bool any = false;
+      for (int l = 0; l < simd::U64::kWidth; ++l) any = any || a[l] != 0;
+      EXPECT_EQ(simd::AnyNonZero(va), any);
+    }
+}
+
+TEST(SimdU64, ShiftsAndIotaMatchScalar) {
+  const std::vector<std::uint64_t> pool = {
+      ~0ull, 1ull, 0x8000000000000001ull, 0x123456789abcdef0ull};
+  std::uint64_t a[simd::U64::kWidth], k[simd::U64::kWidth],
+      r[simd::U64::kWidth];
+  // Immediate left shift: every count 0..63 over the whole pool.
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    for (int s = 0; s < 64; ++s) {
+      for (int l = 0; l < simd::U64::kWidth; ++l)
+        a[l] = pool[(i + static_cast<std::size_t>(l)) % pool.size()];
+      simd::Shl(simd::U64::Load(a), s).Store(r);
+      for (int l = 0; l < simd::U64::kWidth; ++l)
+        EXPECT_EQ(r[l], a[l] << s)
+            << "Shl lane " << l << " count " << s;
+    }
+  // Per-lane variable right shift: distinct counts per lane, all
+  // residues mod 64 covered.
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    for (int base = 0; base < 64; ++base) {
+      for (int l = 0; l < simd::U64::kWidth; ++l) {
+        a[l] = pool[(i + static_cast<std::size_t>(l)) % pool.size()];
+        k[l] = static_cast<std::uint64_t>((base + 17 * l) % 64);
+      }
+      simd::ShrVar(simd::U64::Load(a), simd::U64::Load(k)).Store(r);
+      for (int l = 0; l < simd::U64::kWidth; ++l)
+        EXPECT_EQ(r[l], a[l] >> k[l])
+            << "ShrVar lane " << l << " count " << k[l];
+    }
+  simd::U64::Iota(7).Store(r);
+  for (int l = 0; l < simd::U64::kWidth; ++l)
+    EXPECT_EQ(r[l], 7u + static_cast<std::uint64_t>(l));
+}
+
+TEST(SimdU64, AccumulateLtCountsOrderedCompares) {
+  const auto& pool = Specials();
+  double a[simd::F64::kWidth], b[simd::F64::kWidth];
+  std::uint64_t acc[simd::U64::kWidth], r[simd::U64::kWidth];
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      const simd::F64 va = LoadRot(pool, i, a);
+      const simd::F64 vb = LoadRot(pool, j, b);
+      for (int l = 0; l < simd::U64::kWidth; ++l)
+        acc[l] = 1000u * static_cast<std::uint64_t>(l) + i + j;
+      simd::AccumulateLt(simd::U64::Load(acc), va, vb).Store(r);
+      for (int l = 0; l < simd::U64::kWidth; ++l)
+        EXPECT_EQ(r[l], acc[l] + (a[l] < b[l] ? 1u : 0u))
+            << "lane " << l << " i=" << i << " j=" << j;
+    }
+}
+
+// ====================================================================
+// Lane kernels: reference loops + tail boundaries + canary guards.
+// ====================================================================
+
+constexpr std::size_t kW = static_cast<std::size_t>(simd::F64::kWidth);
+constexpr double kCanary = -9.8765e123;
+
+/// Deterministic pseudo-random row mixing normals with the arrival
+/// sweep's sentinel (-inf).
+std::vector<double> ArrivalRow(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-3.0, 3.0);
+  std::vector<double> row(n);
+  for (double& x : row)
+    x = (rng() % 7 == 0) ? kNegInf : dist(rng);
+  return row;
+}
+
+/// Checks row[n..] still holds the canary (kernel never over-writes).
+void ExpectCanaryIntact(const std::vector<double>& buf, std::size_t n) {
+  for (std::size_t i = n; i < buf.size(); ++i)
+    EXPECT_EQ(buf[i], kCanary) << "overwrite at lane " << i;
+}
+
+TEST(LaneKernels, LaunchMaxPropagateMatchReferenceAtEveryTail) {
+  for (std::size_t n = 1; n <= 2 * kW + 3; ++n) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    const std::vector<double> m = ArrivalRow(n, 100 + n);
+    const std::vector<double> in = ArrivalRow(n, 200 + n);
+    const double base = 0.37, wire = 0.05, bcast = 1.25;
+
+    std::vector<double> out(n + kW, kCanary);
+    sta::lanes::Launch(out.data(), m.data(), base, wire, n);
+    for (std::size_t l = 0; l < n; ++l)
+      EXPECT_TRUE(SameBits(out[l], base * m[l] + wire)) << l;
+    ExpectCanaryIntact(out, n);
+
+    std::vector<double> acc = ArrivalRow(n, 300 + n);
+    std::vector<double> ref = acc;
+    acc.resize(n + kW, kCanary);
+    sta::lanes::MaxInPlace(acc.data(), in.data(), n);
+    for (std::size_t l = 0; l < n; ++l)
+      EXPECT_TRUE(SameBits(acc[l], std::max(ref[l], in[l]))) << l;
+    ExpectCanaryIntact(acc, n);
+
+    std::vector<double> acc2 = ref;
+    acc2.resize(n + kW, kCanary);
+    sta::lanes::MaxBroadcast(acc2.data(), bcast, n);
+    for (std::size_t l = 0; l < n; ++l)
+      EXPECT_TRUE(SameBits(acc2[l], std::max(ref[l], bcast))) << l;
+    ExpectCanaryIntact(acc2, n);
+
+    std::vector<double> prop(n + kW, kCanary);
+    sta::lanes::Propagate(prop.data(), in.data(), m.data(), base, wire,
+                          n);
+    for (std::size_t l = 0; l < n; ++l)
+      EXPECT_TRUE(SameBits(prop[l], in[l] + base * m[l] + wire)) << l;
+    ExpectCanaryIntact(prop, n);
+  }
+}
+
+TEST(LaneKernels, PropagateNeqMaskMatchesReferenceAtEveryTail) {
+  for (std::size_t n = 1; n <= 2 * kW + 3; ++n) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    const std::vector<double> m = ArrivalRow(n, 400 + n);
+    const std::vector<double> in = ArrivalRow(n, 500 + n);
+    const double base = 0.21, wire = 0.04;
+    // cmp equals the recomputed value in some lanes (convergence) and
+    // not in others; build it from the reference expression.
+    std::vector<double> cmp_src(n);
+    for (std::size_t l = 0; l < n; ++l)
+      cmp_src[l] = in[l] + base * m[l] + wire;
+    const double cmp = cmp_src[n / 2];  // converges where values tie
+
+    std::vector<double> out(n + kW, kCanary);
+    const std::uint64_t dm = sta::lanes::PropagateNeq(
+        out.data(), in.data(), m.data(), base, wire, cmp, n);
+    std::uint64_t want = 0;
+    for (std::size_t l = 0; l < n; ++l) {
+      const double v = in[l] + base * m[l] + wire;
+      EXPECT_TRUE(SameBits(out[l], v)) << l;
+      if (v != cmp) want |= 1ull << l;
+    }
+    EXPECT_EQ(dm, want);
+    ExpectCanaryIntact(out, n);
+  }
+}
+
+TEST(LaneKernels, PropagateCellMatchesReferenceForAllArities) {
+  for (std::size_t n = 1; n <= 2 * kW + 3; ++n)
+    for (int nin = 1; nin <= 3; ++nin)
+      for (int nout = 1; nout <= 2; ++nout) {
+        SCOPED_TRACE("n=" + std::to_string(n) + " nin=" +
+                     std::to_string(nin) + " nout=" +
+                     std::to_string(nout));
+        const std::vector<double> m = ArrivalRow(n, 600 + n);
+        std::vector<std::vector<double>> ins;
+        const double* in_rows[3] = {};
+        for (int k = 0; k < nin; ++k) {
+          ins.push_back(ArrivalRow(
+              n, 700 + n + static_cast<std::size_t>(k) * 31));
+          in_rows[k] = ins.back().data();
+        }
+        std::vector<std::vector<double>> outs_buf(
+            static_cast<std::size_t>(nout),
+            std::vector<double>(n + kW, kCanary));
+        sta::lanes::OutArc arcs[2];
+        for (int o = 0; o < nout; ++o)
+          arcs[o] = {outs_buf[static_cast<std::size_t>(o)].data(),
+                     0.3 + 0.1 * o, 0.02 + 0.01 * o};
+        sta::lanes::PropagateCell(in_rows, nin, arcs, nout, m.data(),
+                                  kNegInf, n);
+        for (std::size_t l = 0; l < n; ++l) {
+          double a = kNegInf;
+          for (int k = 0; k < nin; ++k) a = std::max(a, in_rows[k][l]);
+          for (int o = 0; o < nout; ++o)
+            EXPECT_TRUE(
+                SameBits(outs_buf[static_cast<std::size_t>(o)][l],
+                         a + arcs[o].base * m[l] + arcs[o].wire))
+                << "lane " << l << " out " << o;
+        }
+        for (int o = 0; o < nout; ++o)
+          ExpectCanaryIntact(outs_buf[static_cast<std::size_t>(o)], n);
+      }
+}
+
+TEST(LaneKernels, EndpointFoldsMatchReferenceAtEveryTail) {
+  for (std::size_t n = 1; n <= 2 * kW + 3; ++n) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    const std::vector<double> m = ArrivalRow(n, 800 + n);
+    const std::vector<double> arr = ArrivalRow(n, 900 + n);
+    const double clock = 0.55, setup = 0.06, barr = 0.31;
+
+    std::vector<double> wns(n, 0.2), wns_ref(wns.begin(), wns.end());
+    std::vector<std::uint64_t> viol(n, 3), viol_ref(viol.begin(),
+                                                    viol.end());
+    wns.resize(n + kW, kCanary);
+    viol.resize(n + kW, 77);
+    sta::lanes::EndpointFold(wns.data(), viol.data(), m.data(),
+                             arr.data(), clock, setup, n);
+    for (std::size_t l = 0; l < n; ++l) {
+      const double slack = clock - setup * m[l] - arr[l];
+      EXPECT_TRUE(SameBits(wns[l], std::min(wns_ref[l], slack))) << l;
+      EXPECT_EQ(viol[l], viol_ref[l] + (slack < 0.0 ? 1u : 0u)) << l;
+    }
+    ExpectCanaryIntact(wns, n);
+    for (std::size_t i = n; i < viol.size(); ++i)
+      EXPECT_EQ(viol[i], 77u) << i;
+
+    std::vector<double> wns2(n, 0.2);
+    std::vector<std::uint64_t> viol2(n, 3);
+    wns2.resize(n + kW, kCanary);
+    viol2.resize(n + kW, 77);
+    sta::lanes::EndpointFoldBcast(wns2.data(), viol2.data(), m.data(),
+                                  barr, clock, setup, n);
+    for (std::size_t l = 0; l < n; ++l) {
+      const double slack = clock - setup * m[l] - barr;
+      EXPECT_TRUE(SameBits(wns2[l], std::min(0.2, slack))) << l;
+      EXPECT_EQ(viol2[l], 3u + (slack < 0.0 ? 1u : 0u)) << l;
+    }
+    ExpectCanaryIntact(wns2, n);
+  }
+}
+
+// ====================================================================
+// The full sweep on top of the kernels: batch lanes == scalar Analyze
+// across all four generator families x operator widths, and the
+// arrival lanes stay NaN/∞-free on every reached net.
+// ====================================================================
+
+struct Generator {
+  const char* name;
+  gen::Operator (*build)(int);
+};
+const Generator kGenerators[] = {
+    {"booth", &gen::BuildBoothOperator},
+    {"butterfly", &gen::BuildButterflyOperator},
+    {"fir_mac", &gen::BuildFirMacOperator},
+    {"array_mult", &gen::BuildArrayMultOperator},
+};
+
+TEST(SimdSta, BatchBitIdenticalToScalarAcrossOperatorsAndWidths) {
+  std::mt19937 rng(20260809);
+  for (const Generator& g : kGenerators)
+    for (const int w : {8, 16, 32}) {
+      SCOPED_TRACE(std::string(g.name) + " width " + std::to_string(w));
+      core::FlowOptions fopt;
+      fopt.grid = {2, 2};
+      fopt.clock_ns = 0.55;
+      const core::ImplementedDesign d =
+          core::RunImplementationFlow(g.build(w), Lib(), fopt);
+      sta::TimingAnalyzer an(d.op.nl, Lib(), d.loads);
+      const std::uint32_t nmasks = 1u << d.num_domains();
+      const netlist::CaseAnalysis ca(d.op.nl,
+                                     core::ForcedZeros(d.op, w / 2));
+      // Batch widths straddling the vector width, incl. a ragged tail.
+      for (const std::size_t W :
+           {std::size_t{1}, kW + 1, std::size_t{16}}) {
+        std::vector<std::uint32_t> lanes(W);
+        for (std::uint32_t& mk : lanes) mk = rng() % nmasks;
+        const double vdd = 0.7 + 0.05 * static_cast<double>(W % 7);
+        const auto batch =
+            an.AnalyzeBatch(vdd, d.clock_ns, lanes, d.domain_of(), &ca);
+        ASSERT_EQ(batch.size(), W);
+
+        // NaN/∞-free invariant: every reached net's whole lane row is
+        // finite (unreached rows are undefined by contract).
+        const std::span<const double> arr = an.LastBatchArrivals();
+        const std::span<const std::uint8_t> reached =
+            an.LastBatchReached();
+        ASSERT_EQ(reached.size(), d.op.nl.num_nets());
+        for (std::size_t n = 0; n < reached.size(); ++n) {
+          if (!reached[n]) continue;
+          for (std::size_t l = 0; l < W; ++l)
+            ASSERT_TRUE(std::isfinite(arr[n * W + l]))
+                << "net " << n << " lane " << l << " = "
+                << arr[n * W + l];
+        }
+
+        for (std::size_t l = 0; l < W; ++l) {
+          SCOPED_TRACE("lane " + std::to_string(l) + " mask " +
+                       std::to_string(lanes[l]));
+          const sta::TimingReport scalar = an.Analyze(
+              vdd, d.clock_ns, core::BiasVectorFor(d, lanes[l]), &ca);
+          EXPECT_EQ(batch[l].wns_ns, scalar.wns_ns);
+          EXPECT_EQ(batch[l].num_violations, scalar.num_violations);
+          EXPECT_EQ(batch[l].num_active_endpoints,
+                    scalar.num_active_endpoints);
+          EXPECT_EQ(batch[l].num_disabled_endpoints,
+                    scalar.num_disabled_endpoints);
+        }
+      }
+    }
+}
+
+TEST(SimdSta, BackendReportsConsistentWidths) {
+  // The provenance string must be one of the known backends, and the
+  // compile-time widths must match what the bench provenance records.
+  const std::string b = simd::kBackendName;
+  EXPECT_TRUE(b == "avx2" || b == "sse2" || b == "neon" || b == "scalar")
+      << b;
+  EXPECT_GE(simd::F64::kWidth, 2);
+  EXPECT_EQ(simd::U64::kWidth, simd::F64::kWidth);
+#if defined(ADQ_SIMD_DISABLED)
+  EXPECT_EQ(b, "scalar");
+#endif
+}
+
+}  // namespace
+}  // namespace adq

@@ -14,7 +14,13 @@
 ///     poisoning through netlist::RawAccess, which must be detected
 ///     by the structure version and answered with a full fallback
 ///     (checked against both IncrementalStats and the
-///     sta.full_fallbacks obs counter).
+///     sta.full_fallbacks obs counter);
+///   * adaptive dispatch: high predicted-cone calls route to the
+///     dense batch oracle (bit-identical by construction), low-cone
+///     calls stay incremental, and the engine swings back after a
+///     high-cone phase ends. Tests that pin exact hit/visit counts
+///     disable dispatch (NoDispatch) so they keep exercising the
+///     incremental propagation paths they were written for.
 
 #include <gtest/gtest.h>
 
@@ -46,6 +52,14 @@ core::ImplementedDesign MakeDesign(gen::Operator op) {
   fopt.grid = {2, 2};
   fopt.clock_ns = 0.55;
   return core::RunImplementationFlow(std::move(op), Lib(), fopt);
+}
+
+/// Dispatch policy for tests that pin exact hit/visit counts: every
+/// reusable call must take the incremental path.
+sta::DispatchOptions NoDispatch() {
+  sta::DispatchOptions opt;
+  opt.adaptive = false;
+  return opt;
 }
 
 void ExpectReportsIdentical(const sta::TimingReport& inc,
@@ -83,6 +97,12 @@ void StepAndCheck(sta::IncrementalSta& eng, sta::TimingAnalyzer& fresh,
 void RunDifferentialSequence(const core::ImplementedDesign& d,
                              std::uint64_t seed, int steps) {
   sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  // Dispatch off: on small-domain designs the neighborhood batches
+  // already cover most domains, so the adaptive dispatcher would route
+  // nearly every call dense and this sequence would silently stop
+  // exercising the incremental re-propagation it exists to verify.
+  // Routing itself is pinned by the Dispatch* tests below.
+  eng.set_dispatch(NoDispatch());
   sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
   const std::uint32_t nmasks = 1u << d.num_domains();
 
@@ -144,7 +164,8 @@ void RunDifferentialSequence(const core::ImplementedDesign& d,
   EXPECT_GT(eng.stats().incremental_hits, 0);
   EXPECT_GT(eng.stats().full_fallbacks, 0);
   EXPECT_EQ(eng.stats().calls,
-            eng.stats().incremental_hits + eng.stats().full_fallbacks);
+            eng.stats().incremental_hits + eng.stats().full_fallbacks +
+                eng.stats().dispatch_dense);
 }
 
 struct GeneratorCase {
@@ -190,6 +211,7 @@ TEST(StaIncremental, ZeroDirtyRepeatIsAHitAndVisitsNothing) {
 TEST(StaIncremental, AllDirtyComplementMatchesOracle) {
   const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
   sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  eng.set_dispatch(NoDispatch());  // pin the all-dirty cone path
   sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
   const std::uint32_t all = (1u << d.num_domains()) - 1u;
   StepAndCheck(eng, fresh, 0.7, d.clock_ns, {0u}, d.domain_of(),
@@ -240,6 +262,7 @@ TEST(StaIncremental, SingleCellConeVisitsOneInstance) {
 TEST(StaIncremental, RevisitAfterRevertStaysIdentical) {
   const core::ImplementedDesign d = MakeDesign(gen::BuildFirMacOperator(8));
   sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  eng.set_dispatch(NoDispatch());  // A<->B flips every domain
   sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
   const std::uint32_t a = 0x3u, b = 0xCu;
   // A -> B -> A: the revert must reproduce A's reports exactly even
@@ -265,6 +288,7 @@ TEST(StaIncremental, ClockChangeReusesArrivalState) {
   // cost fallbacks — and must still match the oracle at each clock.
   const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
   sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  eng.set_dispatch(NoDispatch());  // pin the exact hit count
   sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
   StepAndCheck(eng, fresh, 0.8, 0.55, {0x1u}, d.domain_of(), nullptr);
   for (const double t : {0.4, 0.55, 0.7, 1.0})
@@ -302,6 +326,7 @@ TEST(StaIncremental, ConvergenceEarlyExitOnReconvergentFanout) {
   domain_of[0] = 1;  // only DFF A reacts to bit 1
 
   sta::IncrementalSta eng(nl, Lib(), loads);
+  eng.set_dispatch(NoDispatch());  // pin the exact visit count
   sta::TimingAnalyzer fresh(nl, Lib(), loads);
   const double clock = 1.0;
   auto check = [&](std::uint32_t mask) {
@@ -324,6 +349,7 @@ TEST(StaIncremental, RawAccessCorruptionForcesFullFallback) {
   core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
   netlist::Netlist& nl = d.op.nl;
   sta::IncrementalSta eng(nl, Lib(), d.loads);
+  eng.set_dispatch(NoDispatch());  // pin the exact fallback counts
   sta::TimingAnalyzer fresh(nl, Lib(), d.loads);
 
   StepAndCheck(eng, fresh, 0.8, d.clock_ns, {0x1u}, d.domain_of(),
@@ -357,6 +383,120 @@ TEST(StaIncremental, RawAccessCorruptionForcesFullFallback) {
                nullptr);
   EXPECT_EQ(eng.stats().full_fallbacks, 2);
   obs::EnableMetrics(false);
+}
+
+TEST(StaIncremental, DispatchRoutesAllDirtyCallsDense) {
+  obs::EnableMetrics(true);
+  obs::ResetMetrics();
+  const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
+  sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
+  const std::uint32_t all = (1u << d.num_domains()) - 1u;
+  StepAndCheck(eng, fresh, 0.7, d.clock_ns, {0u}, d.domain_of(),
+               nullptr);
+  ASSERT_EQ(eng.stats().full_fallbacks, 1);
+  // Every domain flips: the seed fraction alone predicts a full-design
+  // cone, so the dispatcher must route to the dense oracle — with
+  // reports still bit-identical (StepAndCheck above/below proves it).
+  StepAndCheck(eng, fresh, 0.7, d.clock_ns, {all, all ^ 1u},
+               d.domain_of(), nullptr);
+  EXPECT_EQ(eng.stats().dispatch_dense, 1);
+  EXPECT_EQ(eng.stats().incremental_hits, 0);
+  EXPECT_EQ(eng.stats().visited_instances, 0);
+  EXPECT_EQ(eng.stats().calls, eng.stats().incremental_hits +
+                                   eng.stats().full_fallbacks +
+                                   eng.stats().dispatch_dense);
+#ifndef ADQ_OBS_DISABLED
+  const auto snap = obs::SnapshotMetrics();
+  EXPECT_EQ(snap.counters.at("sta.engine_dispatch_dense"), 1);
+  if (snap.counters.count("sta.engine_dispatch_incremental")) {
+    EXPECT_EQ(snap.counters.at("sta.engine_dispatch_incremental"), 0);
+  }
+#endif
+  // The cached base state must have survived the dense detour: a
+  // zero-diff repeat of the base mask is an incremental hit again.
+  StepAndCheck(eng, fresh, 0.7, d.clock_ns, {0u}, d.domain_of(),
+               nullptr);
+  EXPECT_EQ(eng.stats().incremental_hits, 1);
+  EXPECT_EQ(eng.stats().full_fallbacks, 1);
+  obs::EnableMetrics(false);
+}
+
+TEST(StaIncremental, DispatchKeepsLowConeCallsIncremental) {
+  const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
+  sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
+  // Default adaptive dispatch ON: zero-diff repeats predict a zero
+  // cone and must stay incremental.
+  StepAndCheck(eng, fresh, 0.8, d.clock_ns, {0x5u}, d.domain_of(),
+               nullptr);
+  StepAndCheck(eng, fresh, 0.8, d.clock_ns, {0x5u}, d.domain_of(),
+               nullptr);
+  EXPECT_EQ(eng.stats().incremental_hits, 1);
+  EXPECT_EQ(eng.stats().dispatch_dense, 0);
+}
+
+TEST(StaIncremental, DispatchRecoversWhenWorkloadTurnsLocalAgain) {
+  const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
+  sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  sta::DispatchOptions opt;  // defaults, but decay fast for the test
+  opt.decay_alpha = 0.5;
+  eng.set_dispatch(opt);
+  sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
+  const std::uint32_t all = (1u << d.num_domains()) - 1u;
+
+  StepAndCheck(eng, fresh, 0.7, d.clock_ns, {0u}, d.domain_of(),
+               nullptr);
+  // High-cone phase: complement flips dispatch dense and push the
+  // cone EWMA up.
+  StepAndCheck(eng, fresh, 0.7, d.clock_ns, {all}, d.domain_of(),
+               nullptr);
+  ASSERT_GT(eng.stats().dispatch_dense, 0);
+  // Local phase: zero-diff calls have seed fraction 0, so the EWMA
+  // decays toward 0 on each dense call and incremental probing must
+  // resume within a few calls.
+  const long dense_before = eng.stats().dispatch_dense;
+  long hits_after = 0;
+  for (int k = 0; k < 8; ++k) {
+    StepAndCheck(eng, fresh, 0.7, d.clock_ns, {0u}, d.domain_of(),
+                 nullptr);
+    hits_after = eng.stats().incremental_hits;
+    if (hits_after > 0) break;
+  }
+  EXPECT_GT(hits_after, 0) << "dispatcher never swung back; dense="
+                           << dense_before;
+}
+
+TEST(StaIncremental, DispatchAmplificationLearnsConeBlowUp) {
+  const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
+  sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
+  sta::DispatchOptions opt;
+  opt.raise_alpha = 0.0;  // isolate the amplification term
+  opt.amp_alpha = 1.0;    // learn the cone/seed ratio in one shot
+  eng.set_dispatch(opt);
+  sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
+
+  StepAndCheck(eng, fresh, 0.7, d.clock_ns, {0u}, d.domain_of(),
+               nullptr);
+  ASSERT_EQ(eng.stats().full_fallbacks, 1);
+  // A single-domain seed whose cone floods the design: the seed
+  // fraction alone predicts a small cone, so this call still runs
+  // incremental and pays the full-cone probe — which teaches the
+  // dispatcher the design's fanout amplification.
+  StepAndCheck(eng, fresh, 0.7, d.clock_ns, {1u}, d.domain_of(),
+               nullptr);
+  EXPECT_EQ(eng.stats().dispatch_dense, 0);
+  const long probe_visited = eng.stats().visited_instances;
+  const long total = static_cast<long>(d.op.nl.num_instances());
+  ASSERT_GT(probe_visited, total / 2)
+      << "fixture premise: domain 0's cone must flood the design";
+  // The same seed flips back: with the cone EWMA pinned at zero
+  // (raise_alpha = 0) only the learned amplification can predict the
+  // blow-up — the call must go dense up front, paying no probe.
+  StepAndCheck(eng, fresh, 0.7, d.clock_ns, {0u}, d.domain_of(),
+               nullptr);
+  EXPECT_EQ(eng.stats().dispatch_dense, 1);
+  EXPECT_EQ(eng.stats().visited_instances, probe_visited);
 }
 
 TEST(StaIncremental, EmptyBatchAndWidthLimit) {
