@@ -71,7 +71,7 @@ bool SameReport(const adq::sta::TimingReport& a,
 struct DeltaWorkload {
   const char* name;
   std::vector<double> vdd_of_call;
-  std::vector<std::vector<std::uint32_t>> chunk_of_call;
+  std::vector<std::vector<adq::tech::DomainMask>> chunk_of_call;
   /// Bias-domain map the workload's masks index into (set by the
   /// caller; workloads on the same design may use different maps).
   const std::vector<int>* domain_of = nullptr;
@@ -94,7 +94,7 @@ DeltaWorkload GraySweep(int ndom, std::size_t width,
   const std::uint32_t nmasks = 1u << ndom;
   for (const double vdd : vdds) {
     for (std::uint32_t c = 0; c < nmasks; c += width) {
-      std::vector<std::uint32_t> chunk;
+      std::vector<adq::tech::DomainMask> chunk;
       for (std::uint32_t i = c;
            i < std::min<std::uint32_t>(c + width, nmasks); ++i)
         chunk.push_back(i ^ (i >> 1));  // Gray code
@@ -124,8 +124,8 @@ DeltaWorkload NeighborhoodWalk(int ndom, std::size_t width, int calls,
   std::mt19937 rng(seed);
   std::uint32_t base = rng() & ((1u << ndom) - 1u);
   for (int k = 0; k < calls; ++k) {
-    std::vector<std::uint32_t> chunk(width);
-    for (std::uint32_t& m : chunk) {
+    std::vector<adq::tech::DomainMask> chunk(width);
+    for (adq::tech::DomainMask& m : chunk) {
       m = base ^ (1u << flips[rng() % flips.size()]);
       if (rng() % 2) m ^= 1u << flips[rng() % flips.size()];
     }
@@ -198,8 +198,8 @@ int RunSmoke(double seconds) {
     if (pct(rng) < 10) vdd = vdds[rng() % vdds.size()];
     if (pct(rng) < 10) cai = rng() % ca.size();
     const std::size_t W = 1 + rng() % 16;
-    std::vector<std::uint32_t> chunk(W);
-    for (std::uint32_t& m : chunk) {
+    std::vector<tech::DomainMask> chunk(W);
+    for (tech::DomainMask& m : chunk) {
       m = base ^ (1u << dom(rng));
       if (rng() % 2) m ^= 1u << dom(rng);
     }
@@ -249,7 +249,7 @@ int main(int argc, char** argv) {
   for (const int bw : bitwidths)
     ca.push_back(std::make_unique<const netlist::CaseAnalysis>(
         design.op.nl, core::ForcedZeros(design.op, bw)));
-  std::vector<std::uint32_t> masks(nmasks);
+  std::vector<tech::DomainMask> masks(nmasks);
   for (std::uint32_t m = 0; m < nmasks; ++m) masks[m] = m;
 
   const long masks_per_rep =
@@ -262,7 +262,7 @@ int main(int argc, char** argv) {
     for (int rep = 0; rep < r; ++rep)
       for (std::size_t bi = 0; bi < bitwidths.size(); ++bi)
         for (const double vdd : vdds)
-          for (const std::uint32_t mask : masks)
+          for (const tech::DomainMask mask : masks)
             sink += analyzer
                         .Analyze(vdd, design.clock_ns,
                                  core::BiasVectorFor(design, mask),
@@ -276,7 +276,7 @@ int main(int argc, char** argv) {
       for (std::size_t bi = 0; bi < bitwidths.size(); ++bi)
         for (const double vdd : vdds)
           for (std::size_t c = 0; c < masks.size(); c += width) {
-            const std::span<const std::uint32_t> lanes(
+            const std::span<const tech::DomainMask> lanes(
                 masks.data() + c, std::min(width, masks.size() - c));
             for (const sta::TimingReport& rep_l : analyzer.AnalyzeBatch(
                      vdd, design.clock_ns, lanes, design.domain_of(),

@@ -64,7 +64,7 @@ inline double CellAreaMm2(const core::ImplementedDesign& d) {
   return netlist::ComputeStats(d.op.nl, Lib()).cell_area_um2 * 1e-6;
 }
 
-inline std::string MaskToString(std::uint32_t mask, int ndom) {
+inline std::string MaskToString(tech::DomainMask mask, int ndom) {
   std::string s = "0b";
   for (int d = ndom - 1; d >= 0; --d) s += ((mask >> d) & 1u) ? '1' : '0';
   return s;

@@ -4,6 +4,8 @@
 ///
 /// Usage: domain_explorer [booth|butterfly|fir|mac|array] [NX] [NY]
 ///                        [regular|bands] [threads] [--lint=off|warn|error]
+///                        [--engine=exhaustive|frontier|auto]
+///                        [--store=DIR] [--budget=N]
 ///                        [--trace=f.json] [--metrics=f.json] [--progress]
 /// Defaults: booth 2 2 regular 0 (threads: 0 = one per hardware
 /// thread, 1 = serial; any value gives identical results — the
@@ -13,6 +15,18 @@
 /// criticality-fitted band cuts) and prints everything a designer
 /// needs to pick a grid: area overhead, per-mode optimal knobs, and
 /// the savings against both DVAS baselines.
+///
+/// --engine picks the exploration engine: `exhaustive` enumerates
+/// every mask (grids up to core::kMaxExhaustiveDomains domains),
+/// `frontier` runs the branch-and-bound lattice search
+/// (core::FrontierExplore — any grid up to tech::kMaxDomains; prints
+/// per-mode certificates or proved gaps), and `auto` (the default)
+/// routes oversize grids to frontier. --store=DIR warm-starts either
+/// engine from a persistent exploration store at DIR (created when
+/// absent) and writes fresh verdicts back — a second run trades its
+/// STA runs for store hits with bit-identical results. --budget=N
+/// caps the frontier search at N node expansions per accuracy mode
+/// (0 = run to certificate).
 ///
 /// Observability (see README "Observability"): --trace writes a
 /// Chrome/Perfetto trace of the whole run (flow phases + per-worker
@@ -26,11 +40,16 @@
 #include <cstring>
 #include <vector>
 
+#include <memory>
+#include <string>
+
 #include "core/controller.h"
 #include "core/dvas.h"
 #include "core/explore.h"
 #include "core/flow.h"
+#include "core/frontier.h"
 #include "core/pareto.h"
+#include "store/exploration_store.h"
 #include "gen/operator.h"
 #include "lint/lint.h"
 #include "netlist/stats.h"
@@ -42,9 +61,29 @@ int main(int argc, char** argv) {
   using namespace adq;
   obs::Options oopt = obs::OptionsFromEnv();
   lint::LintGate lint_gate = lint::LintGate::kError;
+  std::string engine = "auto";
+  std::string store_dir;
+  long budget = 0;
   std::vector<const char*> pos;  // positional args, flags stripped
   for (int i = 1; i < argc; ++i) {
     if (obs::ParseObsFlag(argv[i], &oopt)) continue;
+    if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+      engine = argv[i] + 9;
+      if (engine != "exhaustive" && engine != "frontier" &&
+          engine != "auto") {
+        std::fprintf(stderr, "--engine must be exhaustive, frontier or auto\n");
+        return 1;
+      }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--store=", 8) == 0) {
+      store_dir = argv[i] + 8;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      budget = std::atol(argv[i] + 9);
+      continue;
+    }
     if (std::strncmp(argv[i], "--lint=", 7) == 0) {
       const char* v = argv[i] + 7;
       if (std::strcmp(v, "off") == 0) lint_gate = lint::LintGate::kOff;
@@ -63,8 +102,18 @@ int main(int argc, char** argv) {
   const char* which = pos.size() > 0 ? pos[0] : "booth";
   place::GridConfig grid{pos.size() > 1 ? std::atoi(pos[1]) : 2,
                          pos.size() > 2 ? std::atoi(pos[2]) : 2};
-  if (grid.nx < 1 || grid.ny < 1 || grid.num_domains() > 12) {
-    std::fprintf(stderr, "grid must be 1x1 .. 12 domains\n");
+  if (grid.nx < 1 || grid.ny < 1 ||
+      grid.num_domains() > tech::kMaxDomains) {
+    std::fprintf(stderr, "grid must be 1x1 .. %d domains\n",
+                 tech::kMaxDomains);
+    return 1;
+  }
+  if (engine == "exhaustive" &&
+      grid.num_domains() > core::kMaxExhaustiveDomains) {
+    std::fprintf(stderr,
+                 "grid has %d domains; --engine=exhaustive tops out at "
+                 "%d (use --engine=frontier)\n",
+                 grid.num_domains(), core::kMaxExhaustiveDomains);
     return 1;
   }
 
@@ -101,10 +150,33 @@ int main(int argc, char** argv) {
       100.0 * design.partition.area_overhead(),
       design.timing_met ? "met" : "VIOLATED", design.sizing.wns_ns);
 
+  std::unique_ptr<store::ExplorationStore> store;
+  if (!store_dir.empty()) {
+    store = std::make_unique<store::ExplorationStore>(store_dir);
+    std::printf("exploration store: %s (%llu records on open)\n",
+                store->dir().c_str(),
+                static_cast<unsigned long long>(store->num_records()));
+  }
+  const bool use_frontier =
+      engine == "frontier" ||
+      (engine == "auto" &&
+       design.num_domains() > core::kMaxExhaustiveDomains);
+
   core::ExploreOptions xopt;
   xopt.num_threads = threads;
-  const core::ExplorationResult ours =
-      core::ExploreDesignSpace(design, lib, xopt);
+  xopt.store = store.get();
+  core::ExplorationResult ours;
+  core::FrontierResult frontier;
+  if (use_frontier) {
+    core::FrontierOptions fropt;
+    fropt.num_threads = threads;
+    fropt.node_budget = budget;
+    fropt.store = store.get();
+    frontier = core::FrontierExplore(design, lib, fropt);
+    ours = frontier.ToExplorationResult();
+  } else {
+    ours = core::ExploreDesignSpace(design, lib, xopt);
+  }
   const auto dvas_fbb =
       core::ExploreDvas(design, lib, core::DvasVariant::kFBB, xopt);
   const auto dvas_nobb =
@@ -128,17 +200,48 @@ int main(int argc, char** argv) {
       return s ? util::Table::Num(100.0 * *s, 1) + "%" : std::string("--");
     };
     char mask[40];
-    std::snprintf(mask, sizeof(mask), "0x%x", p.mask);
+    std::snprintf(mask, sizeof(mask), "0x%llx",
+                  static_cast<unsigned long long>(p.mask));
     t.AddRow({std::to_string(p.bitwidth), util::Table::Sci(p.power_w, 3),
               util::Table::Num(p.vdd, 1), mask, rel(ff), rel(fn)});
   }
   std::fputs(t.Render().c_str(), stdout);
-  std::printf(
-      "\nexploration: %ld points considered, %ld STA runs (%ld "
-      "mask-dominance pruned), %.0f%% filtered (%d worker threads)\n",
-      ours.stats.points_considered, ours.stats.sta_runs,
-      ours.stats.mask_pruned, 100.0 * ours.stats.FilterRate(),
-      util::ResolveNumThreads(threads));
+  if (use_frontier) {
+    std::printf("\nmode certificates (frontier engine):\n");
+    for (const core::FrontierModeResult& m : frontier.modes) {
+      if (m.certified)
+        std::printf("  bits %2d: proved optimal (%ld nodes expanded)\n",
+                    m.bitwidth, m.nodes_expanded);
+      else
+        std::printf(
+            "  bits %2d: budget hit after %ld nodes, proved gap "
+            "%.3e W\n",
+            m.bitwidth, m.nodes_expanded, m.gap_w);
+    }
+    std::printf(
+        "frontier: %ld nodes expanded over %ld waves, %ld STA runs, "
+        "%ld store hits, %ld cross-bitwidth transfers "
+        "(%d/%zu modes certified, %d worker threads)\n",
+        frontier.stats.nodes_expanded, frontier.stats.waves,
+        frontier.stats.sta_runs, frontier.stats.store_hits,
+        frontier.stats.transfer_hits, frontier.stats.certified_modes,
+        frontier.modes.size(), util::ResolveNumThreads(threads));
+  } else {
+    std::printf(
+        "\nexploration: %ld points considered, %ld STA runs (%ld "
+        "mask-dominance pruned), %.0f%% filtered (%d worker threads)\n",
+        ours.stats.points_considered, ours.stats.sta_runs,
+        ours.stats.mask_pruned, 100.0 * ours.stats.FilterRate(),
+        util::ResolveNumThreads(threads));
+  }
+  if (store) {
+    const store::StoreStats ss = store->stats();
+    std::printf(
+        "store: %llu hits / %llu lookups this run; flushing %s\n",
+        static_cast<unsigned long long>(ss.hits),
+        static_cast<unsigned long long>(ss.lookups),
+        store->Flush() ? "ok" : "FAILED");
+  }
   // The --metrics snapshot accumulates over every exploration in the
   // process (the main sweep plus both DVAS baselines); print the same
   // totals so the two outputs reconcile exactly.

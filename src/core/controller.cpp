@@ -48,7 +48,7 @@ std::string RuntimeController::RenderTable() const {
   for (const KnobSetting& k : table_) {
     std::ostringstream mask;
     mask << "0b";
-    for (int d = 31; d >= 0; --d)
+    for (int d = tech::kMaxDomains - 1; d >= 0; --d)
       if (k.fbb_mask >> d) {
         for (int e = d; e >= 0; --e) mask << ((k.fbb_mask >> e) & 1u);
         break;

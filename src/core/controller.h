@@ -24,8 +24,8 @@ namespace adq::core {
 struct KnobSetting {
   int bitwidth = 0;
   double vdd = 0.0;
-  std::uint32_t fbb_mask = 0;  ///< bit d: domain d on the forward pumps
-  std::uint32_t rbb_mask = 0;  ///< bit d: domain d asleep (reverse bias)
+  tech::DomainMask fbb_mask = 0;  ///< bit d: domain d on the forward pumps
+  tech::DomainMask rbb_mask = 0;  ///< bit d: domain d asleep (reverse bias)
   double power_w = 0.0;
 };
 

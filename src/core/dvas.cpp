@@ -6,8 +6,9 @@ ExplorationResult ExploreDvas(const ImplementedDesign& design,
                               const tech::CellLibrary& lib,
                               DvasVariant variant, ExploreOptions opt) {
   const int ndom = design.num_domains();
-  ADQ_CHECK(ndom >= 1 && ndom < 31);
-  opt.masks = {variant == DvasVariant::kFBB ? ((1u << ndom) - 1u) : 0u};
+  ADQ_CHECK(ndom >= 1 && ndom <= tech::kMaxDomains);
+  opt.masks = {variant == DvasVariant::kFBB ? tech::FullMask(ndom)
+                                            : tech::DomainMask{0}};
   return ExploreDesignSpace(design, lib, opt);
 }
 

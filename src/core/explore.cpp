@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <string>
 
@@ -26,26 +27,88 @@ const ModeResult& ExplorationResult::Mode(int bitwidth) const {
 }
 
 std::vector<BiasState> BiasVectorFor(const ImplementedDesign& design,
-                                     std::uint32_t mask) {
+                                     tech::DomainMask mask) {
   const std::vector<int>& dom = design.partition.domain_of;
   std::vector<BiasState> bias(dom.size());
   for (std::size_t i = 0; i < dom.size(); ++i)
-    bias[i] = ((mask >> dom[i]) & 1u) ? BiasState::kFBB : BiasState::kNoBB;
+    bias[i] = tech::MaskHas(mask, dom[i]) ? BiasState::kFBB : BiasState::kNoBB;
   return bias;
 }
 
-namespace {
-
 double MaskLeakageW(const power::PowerModel& pmodel,
                     const std::vector<double>& dom_weight, int ndom,
-                    double vdd, std::uint32_t mask) {
+                    double vdd, tech::DomainMask mask) {
   double leak_w = 0.0;
   for (int d = 0; d < ndom; ++d)
     leak_w += pmodel.DomainLeakageW(
         dom_weight[static_cast<std::size_t>(d)], vdd,
-        ((mask >> d) & 1u) ? BiasState::kFBB : BiasState::kNoBB);
+        tech::MaskHas(mask, d) ? BiasState::kFBB : BiasState::kNoBB);
   return leak_w;
 }
+
+namespace {
+
+void PutU32(std::string* s, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    s->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void PutF64(std::string* s, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 8; ++i)
+    s->push_back(static_cast<char>((bits >> (8 * i)) & 0xffu));
+}
+
+}  // namespace
+
+store::StoreKey ExploreStoreKey(const ImplementedDesign& design) {
+  const netlist::Netlist& nl = design.op.nl;
+  std::string canon;
+  canon.reserve(nl.num_instances() * 16 + nl.num_nets() * 16 + 64);
+  // Everything an STA verdict depends on, in a fixed order. The cell
+  // library and corner are deliberately outside the key: a store
+  // directory is per (library, corner), like a build cache is per
+  // toolchain.
+  canon += "adq-explore-key-v1";
+  PutU32(&canon, static_cast<std::uint32_t>(nl.num_instances()));
+  for (const netlist::Instance& inst : nl.instances()) {
+    canon.push_back(static_cast<char>(static_cast<int>(inst.kind)));
+    canon.push_back(static_cast<char>(static_cast<int>(inst.drive)));
+    for (int i = 0; i < inst.num_inputs(); ++i)
+      PutU32(&canon, static_cast<std::uint32_t>(
+                         inst.in[static_cast<std::size_t>(i)].index()));
+    for (int o = 0; o < inst.num_outputs(); ++o)
+      PutU32(&canon, static_cast<std::uint32_t>(
+                         inst.out[static_cast<std::size_t>(o)].index()));
+  }
+  PutU32(&canon, static_cast<std::uint32_t>(nl.num_nets()));
+  for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+    PutF64(&canon, design.loads.cap_ff[n]);
+    PutF64(&canon, design.loads.wire_delay_ns[n]);
+  }
+  // Case analysis inputs: the scalable input buses and the data width
+  // decide which LSB registers each bitwidth zeroes.
+  for (const netlist::Bus& bus : nl.input_buses()) {
+    canon += bus.name;
+    canon.push_back('\0');
+    PutU32(&canon, static_cast<std::uint32_t>(bus.bits.size()));
+    for (const netlist::NetId b : bus.bits)
+      PutU32(&canon, static_cast<std::uint32_t>(b.index()));
+  }
+  for (const std::string& b : design.op.spec.scalable_buses) {
+    canon += b;
+    canon.push_back('\0');
+  }
+  PutU32(&canon, static_cast<std::uint32_t>(design.op.spec.data_width));
+  const std::vector<int>& dom = design.domain_of();
+  PutU32(&canon, static_cast<std::uint32_t>(dom.size()));
+  for (const int d : dom) PutU32(&canon, static_cast<std::uint32_t>(d));
+  PutF64(&canon, design.clock_ns);
+  return store::MakeStoreKey(std::move(canon));
+}
+
+namespace {
 
 /// Greedy RBB demotion of the mode's best point (see ExploreOptions::
 /// enable_rbb_sleep). Serial by design: it mutates one point and its
@@ -65,13 +128,13 @@ void RbbSleepPass(const ImplementedDesign& design,
       bias[i] = best.DomainState(design.partition.domain_of[i]);
   };
   for (int d = 0; d < ndom; ++d) {
-    if ((best.mask >> d) & 1u) continue;  // boosted domains stay
-    best.rbb_mask |= 1u << d;
+    if (tech::MaskHas(best.mask, d)) continue;  // boosted domains stay
+    best.rbb_mask |= tech::MaskBit(d);
     rebuild_bias();
     ++stats.sta_runs;
     const sta::TimingReport rep =
         analyzer.Analyze(best.vdd, design.clock_ns, bias, &ca);
-    if (!rep.feasible()) best.rbb_mask &= ~(1u << d);
+    if (!rep.feasible()) best.rbb_mask &= ~tech::MaskBit(d);
   }
   double leak_w = 0.0;
   for (int d = 0; d < ndom; ++d)
@@ -94,6 +157,7 @@ struct PointRecord {
     kFeasible,    ///< STA ran, met
   };
   Kind kind = Kind::kPruned;
+  bool from_store = false;  ///< verdict served by the exploration store
   double wns_ns = 0.0;
   double leak_w = 0.0;
 };
@@ -114,7 +178,7 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
                                const tech::CellLibrary& lib,
                                const ExploreOptions& opt,
                                const std::vector<int>& bitwidths,
-                               const std::vector<std::uint32_t>& masks,
+                               const std::vector<tech::DomainMask>& masks,
                                const power::PowerModel& pmodel,
                                const std::vector<double>& dom_weight,
                                int num_threads) {
@@ -133,6 +197,15 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
 
   util::ThreadPool pool(num_threads);
   const int nworkers = pool.num_threads();
+
+  // Persistent-store context: resolved once per sweep (the canonical
+  // key encodes the whole implemented design). All lookups happen in
+  // the serial Phase A and all insertions in a serial post-B pass, so
+  // the store never sees concurrent traffic from this sweep and the
+  // sta_runs / store_hits split is deterministic.
+  store::ExplorationStore* const store = opt.store;
+  const int store_ctx =
+      store != nullptr ? store->Context(ExploreStoreKey(design)) : -1;
 
   // Per-worker STA contexts: the analyzer reuses per-net scratch, so
   // each worker owns an analyzer over the shared read-only netlist.
@@ -225,7 +298,7 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
   std::vector<std::vector<std::size_t>> levels;
   {
     int max_pop = 0;
-    for (const std::uint32_t m : masks)
+    for (const tech::DomainMask m : masks)
       max_pop = std::max(max_pop, std::popcount(m));
     levels.resize(static_cast<std::size_t>(max_pop) + 1);
     for (std::size_t mi = 0; mi < nm; ++mi)
@@ -243,9 +316,9 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
   // mask M is dominated iff M ⊆ F for some listed F. (Antichain
   // because a listed mask's supersets were either feasible or already
   // listed before any submask could reach STA.)
-  std::vector<std::vector<std::uint32_t>> row_infeasible(nv);
+  std::vector<std::vector<tech::DomainMask>> row_infeasible(nv);
   std::vector<std::size_t> lane_mi;          // level's pending points
-  std::vector<std::uint32_t> lane_masks;     // aligned with lane_mi
+  std::vector<tech::DomainMask> lane_masks;  // aligned with lane_mi
   std::vector<BatchChunk> chunks;
   for (std::size_t bi = 0; bi < bitwidths.size(); ++bi) {
     const int bw = bitwidths[bi];
@@ -275,9 +348,9 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
             continue;  // record stays kPruned
           }
           if (mask_prune) {
-            const std::uint32_t mask = masks[mi];
+            const tech::DomainMask mask = masks[mi];
             bool dominated = false;
-            for (const std::uint32_t f : row_infeasible[vi])
+            for (const tech::DomainMask f : row_infeasible[vi])
               if ((mask & ~f) == 0u) {
                 dominated = true;
                 break;
@@ -285,6 +358,32 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
             if (dominated) {
               rec[slot].kind = PointRecord::Kind::kMaskPruned;
               dead[slot].store(1, std::memory_order_release);
+              prog.Tick();
+              continue;
+            }
+          }
+          // Store warm-start: a persisted verdict replaces the STA
+          // run. The lookup sits *after* both prunes, so the pruning
+          // decisions (and their stats) are identical with or without
+          // a store; an infeasible hit publishes to the dead table and
+          // (via Phase C, which keys on kInfeasible) to the dominance
+          // antichain exactly like a fresh STA failure would.
+          if (store != nullptr) {
+            bool feas = false;
+            double wns = 0.0;
+            if (store->Lookup(store_ctx, bw, opt.vdds[vi], masks[mi],
+                              &feas, &wns)) {
+              PointRecord& r = rec[slot];
+              r.from_store = true;
+              r.wns_ns = wns;
+              if (feas) {
+                r.kind = PointRecord::Kind::kFeasible;
+                r.leak_w = MaskLeakageW(pmodel, dom_weight, ndom,
+                                        opt.vdds[vi], masks[mi]);
+              } else {
+                r.kind = PointRecord::Kind::kInfeasible;
+                dead[slot].store(1, std::memory_order_release);
+              }
               prog.Tick();
               continue;
             }
@@ -336,7 +435,7 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
             const BatchChunk& c = chunks[static_cast<std::size_t>(idx)];
             const double vdd = opt.vdds[c.vi];
             obs::TraceSpan batch_span("sta.batch");
-            const std::span<const std::uint32_t> chunk_masks(
+            const std::span<const tech::DomainMask> chunk_masks(
                 lane_masks.data() + c.begin, c.count);
             const std::vector<sta::TimingReport> reps =
                 incremental
@@ -362,6 +461,19 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
               prog.Tick();
             }
           });
+
+      // Serial store write-back: persist this level's fresh STA
+      // verdicts in deterministic chunk order (the chunk layout is a
+      // pure function of the surviving set).
+      if (store != nullptr)
+        for (const BatchChunk& c : chunks)
+          for (std::size_t l = 0; l < c.count; ++l) {
+            const std::size_t mi = lane_mi[c.begin + l];
+            const PointRecord& r = rec[c.vi * nm + mi];
+            store->Insert(store_ctx, bw, opt.vdds[c.vi], masks[mi],
+                          r.kind == PointRecord::Kind::kFeasible,
+                          r.wns_ns);
+          }
 
       // Phase C (serial): extend the per-VDD antichains with this
       // level's fresh failures, in deterministic (vi, mi) order.
@@ -397,7 +509,10 @@ ExplorationResult ExploreSweep(const ImplementedDesign& design,
           ++result.stats.mask_pruned;
           continue;
         }
-        ++result.stats.sta_runs;
+        if (r.from_store)
+          ++result.stats.store_hits;
+        else
+          ++result.stats.sta_runs;
         if (r.kind == PointRecord::Kind::kInfeasible) {
           ++result.stats.filtered;
           if (opt.keep_all_points) {
@@ -463,6 +578,7 @@ void RecordExploreMetrics(const ExplorationResult& r, double seconds) {
   obs::GetCounter("explore.points_considered")
       .Add(r.stats.points_considered);
   obs::GetCounter("explore.sta_runs").Add(r.stats.sta_runs);
+  obs::GetCounter("explore.store_hits").Add(r.stats.store_hits);
   obs::GetCounter("explore.filtered").Add(r.stats.filtered);
   obs::GetCounter("explore.pruned_hits").Add(r.stats.pruned);
   obs::GetCounter("explore.mask_pruned").Add(r.stats.mask_pruned);
@@ -495,7 +611,18 @@ ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
   const auto obs_t0 = std::chrono::steady_clock::now();
   const netlist::Netlist& nl = design.op.nl;
   const int ndom = design.num_domains();
-  ADQ_CHECK_MSG(ndom <= 20, "2^" << ndom << " masks is beyond exhaustive");
+  ADQ_CHECK_MSG(ndom >= 1 && ndom <= tech::kMaxDomains,
+                "domain count " << ndom << " outside [1, "
+                                << tech::kMaxDomains << "]");
+  // A full-lattice request beyond the enumeration ceiling is a
+  // recoverable request error, not a contract violation: callers
+  // reroute to core::FrontierExplore (examples/domain_explorer does).
+  if (opt.masks.empty() && ndom > kMaxExhaustiveDomains)
+    throw ExploreError(
+        "2^" + std::to_string(ndom) +
+        " masks is beyond exhaustive enumeration (kMaxExhaustiveDomains"
+        " = " + std::to_string(kMaxExhaustiveDomains) +
+        "); restrict ExploreOptions::masks or use core::FrontierExplore");
 
   std::vector<int> bitwidths = opt.bitwidths;
   if (bitwidths.empty()) {
@@ -503,9 +630,11 @@ ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
       bitwidths.push_back(b);
   }
   std::sort(bitwidths.begin(), bitwidths.end());
-  std::vector<std::uint32_t> masks = opt.masks;
+  std::vector<tech::DomainMask> masks = opt.masks;
   if (masks.empty()) {
-    for (std::uint32_t m = 0; m < (1u << ndom); ++m) masks.push_back(m);
+    const tech::DomainMask full = tech::FullMask(ndom);
+    masks.reserve(static_cast<std::size_t>(full) + 1);
+    for (tech::DomainMask m = 0; m <= full; ++m) masks.push_back(m);
   }
 
   // Per-domain leakage weights: leakage of a mask is a ndom-term sum.

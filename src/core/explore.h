@@ -24,13 +24,34 @@
 /// batch_width lanes per topological traversal (sta::AnalyzeBatch).
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/flow.h"
 #include "power/power.h"
 #include "sim/activity.h"
+#include "store/exploration_store.h"
 
 namespace adq::core {
+
+/// Recoverable failure of an exploration request. Unlike CheckError
+/// (a programming/contract error that should crash loudly), an
+/// ExploreError means the *request* cannot be served as posed — e.g.
+/// an exhaustive sweep over a grid whose 2^NMAX lattice is beyond
+/// enumeration — and the caller can recover by rerouting to the
+/// frontier engine (core/frontier.h) instead of dying.
+class ExploreError : public std::runtime_error {
+ public:
+  explicit ExploreError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Largest domain count the exhaustive engine will enumerate when
+/// asked for the full 2^NMAX mask lattice (2^20 masks per (VDD,
+/// bitwidth) row). Bigger grids must either restrict
+/// ExploreOptions::masks or use core::FrontierExplore.
+inline constexpr int kMaxExhaustiveDomains = 20;
 
 /// One explored operating point. `mask` bit d = 1 means domain d is
 /// forward back-biased (FBB); 0 means NoBB — unless the same bit is
@@ -39,8 +60,8 @@ namespace adq::core {
 struct ExploredPoint {
   int bitwidth = 0;
   double vdd = 0.0;
-  std::uint32_t mask = 0;
-  std::uint32_t rbb_mask = 0;
+  tech::DomainMask mask = 0;
+  tech::DomainMask rbb_mask = 0;
   bool feasible = false;
   double wns_ns = 0.0;
   power::PowerBreakdown power;
@@ -48,8 +69,8 @@ struct ExploredPoint {
   double total_power_w() const { return power.total_w(); }
 
   tech::BiasState DomainState(int d) const {
-    if ((mask >> d) & 1u) return tech::BiasState::kFBB;
-    if ((rbb_mask >> d) & 1u) return tech::BiasState::kRBB;
+    if (tech::MaskHas(mask, d)) return tech::BiasState::kFBB;
+    if (tech::MaskHas(rbb_mask, d)) return tech::BiasState::kRBB;
     return tech::BiasState::kNoBB;
   }
 };
@@ -75,7 +96,12 @@ struct ExplorationStats {
                          ///< bitwidth), so no STA was spent. Always an
                          ///< exact trade against sta_runs:
                          ///< points_considered ==
-                         ///<     sta_runs + pruned + mask_pruned.
+                         ///<     sta_runs + store_hits + pruned +
+                         ///<     mask_pruned.
+  long store_hits = 0;  ///< verdicts served by the persistent
+                        ///< exploration store instead of an STA run
+                        ///< (0 unless ExploreOptions::store is set);
+                        ///< bit-identical trade against sta_runs
   long feasible = 0;
   // Incremental-engine telemetry (zero under StaEngine::kBatch).
   // Unlike every field above, these depend on which worker served
@@ -118,7 +144,7 @@ struct ExploreOptions {
   std::vector<int> bitwidths;
   /// BB masks to consider; empty = all 2^NMAX (the paper's method).
   /// DVAS baselines restrict this to all-NoBB {0} or all-FBB.
-  std::vector<std::uint32_t> masks;
+  std::vector<tech::DomainMask> masks;
   int activity_cycles = 1024;
   std::uint64_t seed = 7;
   sim::StimulusKind stimulus = sim::StimulusKind::kCorrelated;
@@ -166,14 +192,45 @@ struct ExploreOptions {
   /// popcount levels separated by a barrier. Contract enforced by
   /// tests/test_parallel_explore.
   int num_threads = 0;
+  /// Optional persistent exploration store (store/exploration_store.h)
+  /// warm-starting the sweep: every (bitwidth, VDD, mask) STA verdict
+  /// already present is reused instead of re-running STA (counted in
+  /// stats.store_hits), and every fresh verdict is inserted back. The
+  /// result is bit-identical with or without the store — stored wns
+  /// values round-trip as exact double bit patterns — only the
+  /// sta_runs / store_hits split changes. nullptr (the default)
+  /// disables both directions; the caller owns the store and decides
+  /// when to Flush() it to disk.
+  store::ExplorationStore* store = nullptr;
 };
 
+/// Throws ExploreError when the request asks for the full mask
+/// lattice of a grid beyond kMaxExhaustiveDomains (use
+/// core::FrontierExplore for those); all other contract violations
+/// still fail fast via ADQ_CHECK.
 ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
                                      const tech::CellLibrary& lib,
                                      const ExploreOptions& opt = {});
 
 /// Expands a domain mask into a per-instance bias vector.
 std::vector<tech::BiasState> BiasVectorFor(const ImplementedDesign& design,
-                                           std::uint32_t mask);
+                                           tech::DomainMask mask);
+
+/// Leakage of a mask as the exhaustive sweep computes it: the
+/// ndom-term DomainLeakageW sum folded in ascending-domain order.
+/// Shared with the frontier engine so both produce bit-identical
+/// leakage (and therefore bit-identical best points and bounds).
+double MaskLeakageW(const power::PowerModel& pmodel,
+                    const std::vector<double>& dom_weight, int ndom,
+                    double vdd, tech::DomainMask mask);
+
+/// Canonical persistent-store key of an implemented design: the full
+/// byte encoding of everything an STA verdict depends on — netlist
+/// structure (cell kinds, pin nets, drive strengths), extracted
+/// per-net loads, the cell->domain map and the implementation clock —
+/// plus its 64-bit FNV-1a digest. The store verifies the full
+/// encoding on every hash hit, so a digest collision degrades to a
+/// miss, never to a wrong verdict.
+store::StoreKey ExploreStoreKey(const ImplementedDesign& design);
 
 }  // namespace adq::core

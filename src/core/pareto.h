@@ -19,7 +19,7 @@ namespace adq::core {
 struct ParetoPoint {
   int bitwidth = 0;
   double power_w = 0.0;
-  std::uint32_t mask = 0;
+  tech::DomainMask mask = 0;
   double vdd = 0.0;
 };
 

@@ -125,10 +125,10 @@ VddIslandResult ExploreVddIslands(const ImplementedDesign& design,
     VddIslandMode mode;
     mode.bitwidth = bw;
     for (const double low : opt.low_vdds) {
-      for (std::uint32_t mask = 0; mask < (1u << ndom); ++mask) {
+      for (tech::DomainMask mask = 0; mask <= tech::FullMask(ndom); ++mask) {
         ++result.points_considered;
         auto vdd_of = [&](int d) {
-          return ((mask >> d) & 1u) ? low : opt.high_vdd;
+          return tech::MaskHas(mask, d) ? low : opt.high_vdd;
         };
         for (std::uint32_t i = 0; i < nl_v.num_instances(); ++i)
           scales[i] = lib.DelayScale(vdd_of(design.partition.domain_of[i]),

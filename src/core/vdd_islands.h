@@ -37,7 +37,7 @@ struct LevelShifterModel {
 struct VddIslandPoint {
   int bitwidth = 0;
   double low_vdd = 0.0;
-  std::uint32_t low_mask = 0;  ///< bit d: domain d on the low rail
+  tech::DomainMask low_mask = 0;  ///< bit d: domain d on the low rail
   bool feasible = false;
   double dynamic_w = 0.0;
   double leakage_w = 0.0;

@@ -597,11 +597,12 @@ void CheckGuardbands(const place::GridPartition& part, Sink& sink) {
 }
 
 void CheckMaskWidth(int num_domains, Sink& sink) {
-  if (num_domains > 32)
+  if (num_domains > tech::kMaxDomains)
     sink.Report(kRuleMaskWidth, "partition",
                 std::to_string(num_domains) +
-                    " domains exceed the 32-bit bias-mask width",
-                "std::uint32_t masks index at most 32 domains");
+                    " domains exceed the bias-mask width",
+                "tech::DomainMask indexes at most " +
+                    std::to_string(tech::kMaxDomains) + " domains");
 }
 
 // --- ST001 constraint discipline --------------------------------------
@@ -747,7 +748,7 @@ LintReport LintModeTable(const std::string& subject,
   for (std::size_t m = 0; m < modes.size(); ++m) {
     const ModeEntry& e = modes[m];
     const std::string loc = "mode " + std::to_string(e.bitwidth) + " bit";
-    if (mask_rule && num_domains < 32 &&
+    if (mask_rule && num_domains < tech::kMaxDomains &&
         ((e.fbb_mask >> num_domains) != 0u ||
          (e.rbb_mask >> num_domains) != 0u))
       sink.Report(kRuleMaskWidth, loc,

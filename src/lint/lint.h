@@ -82,8 +82,8 @@ LintReport LintFlow(const netlist::Netlist& nl, const tech::CellLibrary& lib,
 struct ModeEntry {
   int bitwidth = 0;
   double vdd = 0.0;
-  std::uint32_t fbb_mask = 0;
-  std::uint32_t rbb_mask = 0;
+  tech::DomainMask fbb_mask = 0;
+  tech::DomainMask rbb_mask = 0;
   double power_w = 0.0;
 };
 

@@ -74,6 +74,20 @@ const PinnedSeries kPinned[] = {
      [](const util::Json& d) {
        return MaxOver(d, "scaling", "points_per_sec");
      }},
+    // Frontier branch-and-bound + persistent store (PR-9): certified
+    // search throughput on the exhaustive-checkable grid, node
+    // throughput beyond the exhaustive ceiling, and the warm-start
+    // trade of STA evaluations for store hits (the >= 5x headline).
+    {"frontier", "certified_nodes_per_sec", false,
+     [](const util::Json& d) {
+       return NumAt(d, "certified_nodes_per_sec");
+     }},
+    {"frontier", "large_grid_nodes_per_sec", false,
+     [](const util::Json& d) {
+       return NumAt(d, "large_grid_nodes_per_sec");
+     }},
+    {"frontier", "warm_eval_reduction", false,
+     [](const util::Json& d) { return NumAt(d, "warm_eval_reduction"); }},
 };
 
 bool LowerIsBetter(const std::string& bench, const std::string& series) {

@@ -56,59 +56,76 @@ std::vector<BusStream> GenerateStreams(const gen::Operator& op, int cycles,
   return streams;
 }
 
-std::uint64_t FnvWord(std::uint64_t h, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    h ^= (v >> (8 * i)) & 0xffULL;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+void PutWord(std::string* s, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    s->push_back(static_cast<char>((v >> (8 * i)) & 0xffULL));
 }
 
-std::uint64_t FnvStr(std::uint64_t h, std::string_view s) {
-  for (const char c : s) {
+void PutStr(std::string* s, std::string_view str) {
+  s->append(str);
+  PutWord(s, str.size());  // length word: "ab"+"c" != "a"+"bc"
+}
+
+/// Canonical byte encoding of everything the simulation result
+/// depends on: topology (cell kinds and pin nets), bus framing and
+/// the stimulus-relevant spec fields. Drive strengths are
+/// deliberately excluded — sizing changes electrical data only, so a
+/// resized copy of an operator (the VDD-island engine works on one)
+/// encodes identically and hits the cache entries the explorer
+/// populated. The encoding itself is part of the cache key (full-key
+/// comparison), so a digest collision between two different operators
+/// degrades to a cache miss, never to a wrong profile.
+std::string CanonicalStructure(const gen::Operator& op) {
+  const netlist::Netlist& nl = op.nl;
+  std::string canon;
+  canon.reserve(nl.num_instances() * 24 + 64);
+  PutWord(&canon, nl.num_nets());
+  PutWord(&canon, nl.num_instances());
+  for (const netlist::Instance& inst : nl.instances()) {
+    PutWord(&canon, static_cast<std::uint64_t>(inst.kind));
+    for (int p = 0; p < inst.num_inputs(); ++p)
+      PutWord(&canon, inst.in[static_cast<std::size_t>(p)].index());
+    for (int o = 0; o < inst.num_outputs(); ++o)
+      PutWord(&canon, inst.out[static_cast<std::size_t>(o)].index());
+  }
+  for (const netlist::Bus& bus : nl.input_buses()) {
+    PutStr(&canon, bus.name);
+    for (const netlist::NetId bit : bus.bits) PutWord(&canon, bit.index());
+  }
+  for (const std::string& name : op.spec.scalable_buses)
+    PutStr(&canon, name);
+  PutWord(&canon, static_cast<std::uint64_t>(op.spec.data_width));
+  PutWord(&canon, static_cast<std::uint64_t>(op.spec.accumulation_cycles));
+  return canon;
+}
+
+bool g_force_hash_collisions = false;
+
+/// FNV-1a of the canonical encoding. Field-for-field the same fold
+/// the historical StructuralHash computed (words enter as 8 LE bytes,
+/// strings as bytes plus a length word), so digests persist across
+/// this refactor. Only an index accelerator now — correctness rests
+/// on the canonical bytes in the key.
+std::uint64_t StructuralDigest(std::string_view canon) {
+  if (g_force_hash_collisions) return 0;
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : canon) {
     h ^= static_cast<unsigned char>(c);
     h *= 0x100000001b3ULL;
   }
-  return FnvWord(h, s.size());
-}
-
-/// FNV-1a over everything the simulation result depends on: topology
-/// (cell kinds and pin nets), bus framing and the stimulus-relevant
-/// spec fields. Drive strengths are deliberately excluded — sizing
-/// changes electrical data only, so a resized copy of an operator
-/// (the VDD-island engine works on one) hashes identically and hits
-/// the cache entries the explorer populated.
-std::uint64_t StructuralHash(const gen::Operator& op) {
-  const netlist::Netlist& nl = op.nl;
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  h = FnvWord(h, nl.num_nets());
-  h = FnvWord(h, nl.num_instances());
-  for (const netlist::Instance& inst : nl.instances()) {
-    h = FnvWord(h, static_cast<std::uint64_t>(inst.kind));
-    for (int p = 0; p < inst.num_inputs(); ++p)
-      h = FnvWord(h, inst.in[static_cast<std::size_t>(p)].index());
-    for (int o = 0; o < inst.num_outputs(); ++o)
-      h = FnvWord(h, inst.out[static_cast<std::size_t>(o)].index());
-  }
-  for (const netlist::Bus& bus : nl.input_buses()) {
-    h = FnvStr(h, bus.name);
-    for (const netlist::NetId bit : bus.bits) h = FnvWord(h, bit.index());
-  }
-  for (const std::string& name : op.spec.scalable_buses)
-    h = FnvStr(h, name);
-  h = FnvWord(h, static_cast<std::uint64_t>(op.spec.data_width));
-  h = FnvWord(h, static_cast<std::uint64_t>(op.spec.accumulation_cycles));
   return h;
 }
 
-using CacheKey = std::tuple<std::string, std::uint64_t, int, int,
-                            std::uint64_t, int>;
+// (name, digest, canonical structure, zeroed_lsbs, cycles, seed,
+// kind): the canonical bytes make lookups full-key exact.
+using CacheKey = std::tuple<std::string, std::uint64_t, std::string, int,
+                            int, std::uint64_t, int>;
 
 CacheKey MakeKey(const gen::Operator& op, std::uint64_t struct_hash,
-                 int zeroed_lsbs, int cycles, std::uint64_t seed,
-                 StimulusKind kind) {
-  return CacheKey(op.spec.name, struct_hash, zeroed_lsbs, cycles, seed,
-                  static_cast<int>(kind));
+                 const std::string& canon, int zeroed_lsbs, int cycles,
+                 std::uint64_t seed, StimulusKind kind) {
+  return CacheKey(op.spec.name, struct_hash, canon, zeroed_lsbs, cycles,
+                  seed, static_cast<int>(kind));
 }
 
 struct ActivityCache {
@@ -241,7 +258,8 @@ std::vector<ActivityProfile> ExtractActivityBatch(
   extractions.Add(static_cast<std::uint64_t>(zeroed_lsbs.size()));
   sim_cycles.Add(static_cast<std::uint64_t>(cycles) * zeroed_lsbs.size());
 
-  const std::uint64_t struct_hash = StructuralHash(op);
+  const std::string canon = CanonicalStructure(op);
+  const std::uint64_t struct_hash = StructuralDigest(canon);
   ActivityCache& cache = TheCache();
 
   // Find the modes not yet cached (deduplicated, first-seen order).
@@ -249,7 +267,8 @@ std::vector<ActivityProfile> ExtractActivityBatch(
   {
     std::lock_guard<std::mutex> lock(cache.mu);
     for (const int zs : zeroed_lsbs) {
-      const CacheKey key = MakeKey(op, struct_hash, zs, cycles, seed, kind);
+      const CacheKey key =
+          MakeKey(op, struct_hash, canon, zs, cycles, seed, kind);
       if (!cache.entries.count(key) &&
           std::find(missing.begin(), missing.end(), zs) == missing.end())
         missing.push_back(zs);
@@ -276,7 +295,7 @@ std::vector<ActivityProfile> ExtractActivityBatch(
     std::lock_guard<std::mutex> lock(cache.mu);
     for (auto& [zs, prof] : fresh)
       cache.entries.try_emplace(
-          MakeKey(op, struct_hash, zs, cycles, seed, kind),
+          MakeKey(op, struct_hash, canon, zs, cycles, seed, kind),
           std::move(prof));
   }
 
@@ -288,7 +307,7 @@ std::vector<ActivityProfile> ExtractActivityBatch(
     std::lock_guard<std::mutex> lock(cache.mu);
     for (const int zs : zeroed_lsbs) {
       const auto it = cache.entries.find(
-          MakeKey(op, struct_hash, zs, cycles, seed, kind));
+          MakeKey(op, struct_hash, canon, zs, cycles, seed, kind));
       ADQ_CHECK(it != cache.entries.end());
       out.push_back(it->second);
     }
@@ -327,6 +346,10 @@ void ClearActivityCache() {
   cache.entries.clear();
   cache.hits = 0;
   cache.misses = 0;
+}
+
+void ForceActivityHashCollisionsForTest(bool on) {
+  g_force_hash_collisions = on;
 }
 
 }  // namespace adq::sim

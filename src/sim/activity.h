@@ -92,4 +92,12 @@ ActivityCacheStats GetActivityCacheStats();
 /// this to isolate cache behavior; production flows never need it.
 void ClearActivityCache();
 
+/// Test hook: while on, the structural digest is a constant, so every
+/// operator collides in the cache's hash field. Lookups must still
+/// return the right profile — the key carries the full canonical
+/// structure encoding, and a digest collision is only allowed to cost
+/// a map-compare, never to alias two operators. Production code must
+/// never call this.
+void ForceActivityHashCollisionsForTest(bool on);
+
 }  // namespace adq::sim

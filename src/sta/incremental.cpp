@@ -82,7 +82,7 @@ double* IncrementalSta::Materialize(NetId n, std::size_t lanes) {
 
 std::vector<TimingReport> IncrementalSta::FullTraversal(
     double vdd, double clock_ns,
-    std::span<const std::uint32_t> lane_masks,
+    std::span<const tech::DomainMask> lane_masks,
     const std::vector<int>& domain_of_inst,
     const netlist::CaseAnalysis* ca) {
   std::vector<TimingReport> reports =
@@ -111,7 +111,7 @@ std::vector<TimingReport> IncrementalSta::FullTraversal(
 
 std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
     double vdd, double clock_ns,
-    std::span<const std::uint32_t> lane_masks,
+    std::span<const tech::DomainMask> lane_masks,
     const std::vector<int>& domain_of_inst,
     const netlist::CaseAnalysis* ca) {
   ADQ_CHECK(domain_of_inst.size() == nl_.num_instances());
@@ -187,17 +187,19 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
   // reports are bit-identical, so route the call straight there. The
   // cached base state is left untouched and stays valid.
   const int ndom = static_cast<int>(dom_comb_.size());
-  const std::uint32_t dom_bits =
-      ndom >= 32 ? 0xffffffffu : ((1u << ndom) - 1u);
+  ADQ_DCHECK(ndom <= tech::kMaxDomains);
+  // Width-safe: FullMask is defined for every ndom up to kMaxDomains
+  // (the old 32-bit `(1u << ndom) - 1u` was UB from ndom == 31 up).
+  const tech::DomainMask dom_bits = tech::FullMask(ndom);
   const double total_insts =
       static_cast<double>(order_.size() + seq_.size());
   double seed_frac = 0.0;
   if (dispatch_.adaptive && total_insts > 0) {
-    std::uint32_t union_diff = 0;
+    tech::DomainMask union_diff = 0;
     for (std::size_t l = 0; l < W; ++l)
       union_diff |= (lane_masks[l] ^ st->base_mask) & dom_bits;
     std::size_t seed = 0;
-    for (std::uint32_t bits = union_diff; bits != 0; bits &= bits - 1) {
+    for (tech::DomainMask bits = union_diff; bits != 0; bits &= bits - 1) {
       const std::size_t d =
           static_cast<std::size_t>(std::countr_zero(bits));
       seed += dom_comb_[d].size() + dom_seq_[d].size();
@@ -250,11 +252,11 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
   chg_dom_.assign(static_cast<std::size_t>(ndom), 0);
   bool any_change = false;
   for (std::size_t l = 0; l < W; ++l) {
-    std::uint32_t diff = (lane_masks[l] ^ st->base_mask) & dom_bits;
+    tech::DomainMask diff = (lane_masks[l] ^ st->base_mask) & dom_bits;
     while (diff != 0u) {
       const int d = std::countr_zero(diff);
       chg_dom_[static_cast<std::size_t>(d)] |= 1ull << l;
-      diff &= diff - 1u;
+      diff &= diff - tech::DomainMask{1};
       any_change = true;
     }
   }

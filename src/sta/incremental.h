@@ -130,7 +130,7 @@ class IncrementalSta {
   /// cached state is reusable.
   std::vector<TimingReport> AnalyzeBatch(
       double vdd, double clock_ns,
-      std::span<const std::uint32_t> lane_masks,
+      std::span<const tech::DomainMask> lane_masks,
       const std::vector<int>& domain_of_inst,
       const netlist::CaseAnalysis* ca = nullptr);
 
@@ -154,7 +154,7 @@ class IncrementalSta {
   void Relevelize();
   std::vector<TimingReport> FullTraversal(
       double vdd, double clock_ns,
-      std::span<const std::uint32_t> lane_masks,
+      std::span<const tech::DomainMask> lane_masks,
       const std::vector<int>& domain_of_inst,
       const netlist::CaseAnalysis* ca);
   /// Lane row of a net materialized this call, or nullptr.
@@ -185,7 +185,7 @@ class IncrementalSta {
     double vdd = 0.0;
     bool has_ca = false;
     std::uint64_t ca_fingerprint = 0;
-    std::uint32_t base_mask = 0;
+    tech::DomainMask base_mask = 0;
     std::uint64_t last_used = 0;  ///< LRU tick
     std::vector<double> arrival;  ///< per net, arrivals of base_mask
   };

@@ -229,7 +229,7 @@ TimingReport TimingAnalyzer::Analyze(
 
 std::vector<TimingReport> TimingAnalyzer::AnalyzeBatch(
     double vdd, double clock_ns,
-    std::span<const std::uint32_t> lane_masks,
+    std::span<const tech::DomainMask> lane_masks,
     const std::vector<int>& domain_of_inst,
     const netlist::CaseAnalysis* ca) {
   ADQ_CHECK(domain_of_inst.size() == nl_.num_instances());
@@ -244,6 +244,7 @@ std::vector<TimingReport> TimingAnalyzer::AnalyzeBatch(
 
   int ndom = 1;
   for (const int d : domain_of_inst) ndom = std::max(ndom, d + 1);
+  ADQ_DCHECK(ndom <= tech::kMaxDomains);
 
   // Per-lane NMAX-sized scale table: row d holds the W multipliers of
   // domain d — the same two DelayScale values scalar Analyze uses, so

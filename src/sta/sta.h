@@ -101,17 +101,18 @@ class TimingAnalyzer {
   /// one topological traversal. Lane l uses the per-instance bias
   /// implied by lane_masks[l] over `domain_of_inst` (bit d set =
   /// domain d forward back-biased, clear = NoBB — the exploration
-  /// engine's FBB mask convention, see core::BiasVectorFor). Arrival
-  /// times are propagated in structure-of-arrays form (W lanes per
-  /// net), so the graph walk, the case-analysis checks and the
-  /// base/wire delay loads are amortized across all W masks.
+  /// engine's FBB mask convention, see core::BiasVectorFor; masks are
+  /// tech::DomainMask wide, so up to tech::kMaxDomains domains).
+  /// Arrival times are propagated in structure-of-arrays form (W
+  /// lanes per net), so the graph walk, the case-analysis checks and
+  /// the base/wire delay loads are amortized across all W masks.
   ///
   /// Contract: reports[l] is bit-identical to
   ///   Analyze(vdd, clock_ns, BiasVectorFor(design, lane_masks[l]), ca)
   /// (endpoints are never collected). Pinned by tests/test_sta_batch.
   std::vector<TimingReport> AnalyzeBatch(
       double vdd, double clock_ns,
-      std::span<const std::uint32_t> lane_masks,
+      std::span<const tech::DomainMask> lane_masks,
       const std::vector<int>& domain_of_inst,
       const netlist::CaseAnalysis* ca = nullptr);
 

@@ -1,0 +1,346 @@
+#include "store/exploration_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "obs/obs.h"
+#include "util/check.h"
+
+namespace adq::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Segment schema magic. The final byte is the schema version: a
+/// future layout change bumps it and old readers skip the file as
+/// stale instead of misparsing it.
+constexpr char kMagic[8] = {'A', 'D', 'Q', 'X', 'S', 'T', 'O', '1'};
+
+constexpr std::size_t kHeaderFixed =
+    sizeof(kMagic) + 8 /*hash*/ + 8 /*canonical size*/;
+// One record: i32 bitwidth, u64 vdd bits, u64 mask, u8 feasible,
+// u64 wns bits — written field by field, no struct padding on disk.
+constexpr std::size_t kRecordBytes = 4 + 8 + 8 + 1 + 8;
+
+void PutU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+}
+
+void PutU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffULL));
+}
+
+std::uint64_t GetU64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint32_t GetU32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t{p[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t BitsOf(double d) {
+  std::uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+double DoubleOf(std::uint64_t b) {
+  double d;
+  std::memcpy(&d, &b, sizeof(d));
+  return d;
+}
+
+void Count(const char* name, std::uint64_t n) {
+  if (n != 0 && obs::MetricsEnabled()) obs::GetCounter(name).Add(n);
+}
+
+}  // namespace
+
+std::uint64_t StoreHash(const std::string& canonical) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+StoreKey MakeStoreKey(std::string canonical) {
+  StoreKey key;
+  key.hash = StoreHash(canonical);
+  key.canonical = std::move(canonical);
+  return key;
+}
+
+ExplorationStore::ExplorationStore(std::string dir)
+    : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  ADQ_CHECK_MSG(!ec && fs::is_directory(dir_, ec),
+                "cannot open exploration store directory " << dir_);
+  std::lock_guard<std::mutex> lock(mu_);
+  LoadNewSegmentsLocked();
+}
+
+ExplorationStore::~ExplorationStore() {
+  Flush();  // best effort; failures already kept the pending records
+}
+
+int ExplorationStore::ContextLocked(const std::string& canonical,
+                                    std::uint64_t hash,
+                                    bool count_collisions) {
+  const auto [lo, hi] = by_hash_.equal_range(hash);
+  for (auto it = lo; it != hi; ++it) {
+    // Full-key verification: the digest locates candidates, the
+    // canonical bytes decide. A collision is a different design and
+    // must get its own context, never this one's records.
+    if (contexts_[static_cast<std::size_t>(it->second)]->canonical ==
+        canonical)
+      return it->second;
+    if (count_collisions) ++stats_.hash_collisions;
+  }
+  const int id = static_cast<int>(contexts_.size());
+  auto ctx = std::make_unique<ContextData>();
+  ctx->canonical = canonical;
+  ctx->hash = hash;
+  contexts_.push_back(std::move(ctx));
+  by_hash_.emplace(hash, id);
+  return id;
+}
+
+int ExplorationStore::Context(const StoreKey& key) {
+  ADQ_CHECK_MSG(key.hash == StoreHash(key.canonical),
+                "StoreKey digest does not match its canonical bytes");
+  std::lock_guard<std::mutex> lock(mu_);
+  return ContextLocked(key.canonical, key.hash, true);
+}
+
+bool ExplorationStore::Lookup(int ctx, int bitwidth, double vdd,
+                              std::uint64_t mask, bool* feasible,
+                              double* wns_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ADQ_CHECK(ctx >= 0 &&
+            ctx < static_cast<int>(contexts_.size()));
+  ++stats_.lookups;
+  const RecordKey key{bitwidth, BitsOf(vdd), mask};
+  const ContextData& c = *contexts_[static_cast<std::size_t>(ctx)];
+  const auto it = c.records.find(key);
+  if (it == c.records.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  if (feasible != nullptr) *feasible = it->second.feasible != 0;
+  if (wns_ns != nullptr) *wns_ns = DoubleOf(it->second.wns_bits);
+  return true;
+}
+
+void ExplorationStore::Insert(int ctx, int bitwidth, double vdd,
+                              std::uint64_t mask, bool feasible,
+                              double wns_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ADQ_CHECK(ctx >= 0 &&
+            ctx < static_cast<int>(contexts_.size()));
+  ContextData& c = *contexts_[static_cast<std::size_t>(ctx)];
+  const RecordKey key{bitwidth, BitsOf(vdd), mask};
+  const Record val{static_cast<std::uint8_t>(feasible ? 1 : 0),
+                   BitsOf(wns_ns)};
+  const auto [it, inserted] = c.records.try_emplace(key, val);
+  if (!inserted) {
+    ++stats_.duplicate_insertions;
+    return;
+  }
+  ++stats_.insertions;
+  c.pending.push_back(PendingRecord{key, val});
+}
+
+bool ExplorationStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool ok = true;
+  for (auto& ctx_ptr : contexts_) {
+    ContextData& c = *ctx_ptr;
+    if (c.pending.empty()) continue;
+
+    std::string body;
+    body.reserve(kHeaderFixed + c.canonical.size() + 8 +
+                 c.pending.size() * kRecordBytes);
+    body.append(kMagic, sizeof(kMagic));
+    PutU64(body, c.hash);
+    PutU64(body, c.canonical.size());
+    body += c.canonical;
+    PutU64(body, c.pending.size());
+    for (const PendingRecord& r : c.pending) {
+      PutU32(body, static_cast<std::uint32_t>(std::get<0>(r.key)));
+      PutU64(body, std::get<1>(r.key));
+      PutU64(body, std::get<2>(r.key));
+      body.push_back(static_cast<char>(r.val.feasible));
+      PutU64(body, r.val.wns_bits);
+    }
+
+    // Unique segment name: pid separates concurrent fleet processes,
+    // a process-wide sequence separates handles within one process
+    // (two stores on one directory must never reuse a name — rename
+    // would silently replace the other handle's segment), and the
+    // existence probe catches what neither covers (a recycled pid
+    // over a directory an earlier process wrote to).
+    static std::atomic<std::uint64_t> g_flush_seq{0};
+    char name[96];
+    fs::path final_path;
+    std::error_code probe_ec;
+    do {
+      std::snprintf(
+          name, sizeof(name), "seg-p%ld-n%llu-%08llx.adqstore",
+          static_cast<long>(getpid()),
+          static_cast<unsigned long long>(
+              g_flush_seq.fetch_add(1, std::memory_order_relaxed)),
+          static_cast<unsigned long long>(c.hash & 0xffffffffULL));
+      final_path = fs::path(dir_) / name;
+    } while (fs::exists(final_path, probe_ec));
+    const fs::path tmp_path =
+        fs::path(dir_) / (std::string("tmp-") + name);
+
+    std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+    bool wrote =
+        f != nullptr &&
+        std::fwrite(body.data(), 1, body.size(), f) == body.size();
+    if (f != nullptr) wrote = (std::fclose(f) == 0) && wrote;
+    std::error_code ec;
+    if (wrote) fs::rename(tmp_path, final_path, ec);
+    if (!wrote || ec) {
+      fs::remove(tmp_path, ec);
+      ok = false;
+      continue;  // keep c.pending for a retry
+    }
+    // Our own segment must not be re-loaded by a later Refresh.
+    seen_files_.insert(name);
+    c.pending.clear();
+    Count("store.segments_written", 1);
+  }
+  return ok;
+}
+
+bool ExplorationStore::LoadSegmentLocked(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    ++stats_.segments_ignored;
+    return false;
+  }
+  auto read_exact = [&](void* dst, std::size_t n) {
+    return std::fread(dst, 1, n, f) == n;
+  };
+
+  bool salvaged = false;
+  bool loaded = false;
+  unsigned char hdr[kHeaderFixed];
+  do {
+    if (!read_exact(hdr, sizeof(hdr)) ||
+        std::memcmp(hdr, kMagic, sizeof(kMagic)) != 0) {
+      ++stats_.segments_ignored;  // stale schema / foreign file
+      break;
+    }
+    const std::uint64_t hash = GetU64(hdr + sizeof(kMagic));
+    const std::uint64_t canon_size = GetU64(hdr + sizeof(kMagic) + 8);
+    if (canon_size > (1ULL << 30)) {  // implausible: corrupt header
+      ++stats_.segments_ignored;
+      break;
+    }
+    std::string canonical(static_cast<std::size_t>(canon_size), '\0');
+    if (!read_exact(canonical.data(), canonical.size())) {
+      ++stats_.segments_ignored;  // truncated inside the header
+      break;
+    }
+    unsigned char count_buf[8];
+    if (!read_exact(count_buf, sizeof(count_buf))) {
+      ++stats_.segments_ignored;
+      break;
+    }
+    const std::uint64_t promised = GetU64(count_buf);
+
+    // The canonical bytes come from the file itself, so the digest in
+    // the header is advisory; recompute so a bit-rotted header can
+    // never alias two different designs into one context.
+    const std::uint64_t true_hash = StoreHash(canonical);
+    if (true_hash != hash) salvaged = true;
+    const int ctx = ContextLocked(canonical, true_hash, false);
+    ContextData& c = *contexts_[static_cast<std::size_t>(ctx)];
+
+    unsigned char rec[kRecordBytes];
+    std::uint64_t got = 0;
+    for (; got < promised; ++got) {
+      if (!read_exact(rec, sizeof(rec))) {
+        salvaged = true;  // truncated body / torn final record
+        break;
+      }
+      const RecordKey key{static_cast<std::int32_t>(GetU32(rec)),
+                          GetU64(rec + 4), GetU64(rec + 12)};
+      const Record val{rec[20], GetU64(rec + 21)};
+      if (c.records.try_emplace(key, val).second)
+        ++stats_.records_loaded;
+    }
+    loaded = true;
+    if (salvaged)
+      ++stats_.segments_salvaged;
+    else
+      ++stats_.segments_loaded;
+  } while (false);
+
+  std::fclose(f);
+  return loaded;
+}
+
+void ExplorationStore::LoadNewSegmentsLocked() {
+  // Deterministic load order (lexicographic) so two processes opening
+  // the same directory build identical in-memory stores.
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 9 ||
+        name.compare(name.size() - 9, 9, ".adqstore") != 0)
+      continue;
+    if (name.compare(0, 4, "tmp-") == 0) continue;  // crashed writer
+    if (seen_files_.count(name)) continue;
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    seen_files_.insert(name);
+    LoadSegmentLocked((fs::path(dir_) / name).string());
+  }
+  Count("store.segments_loaded",
+        stats_.segments_loaded + stats_.segments_salvaged);
+  Count("store.records_loaded", stats_.records_loaded);
+}
+
+void ExplorationStore::Refresh() {
+  std::lock_guard<std::mutex> lock(mu_);
+  LoadNewSegmentsLocked();
+}
+
+StoreStats ExplorationStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::uint64_t ExplorationStore::num_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& c : contexts_) n += c->records.size();
+  return n;
+}
+
+}  // namespace adq::store

@@ -14,11 +14,45 @@
 /// power switches) simple. This header models exactly that knob while
 /// staying parametric in the underlying voltages.
 
+#include <cstdint>
 #include <string>
 
 #include "util/check.h"
 
 namespace adq::tech {
+
+/// Per-domain bias-selection mask: bit d describes Vth domain d. This
+/// is THE mask type of the whole stack — exploration points, runtime
+/// knob settings, lint mode entries and the batched STA lanes all use
+/// it — so its width is decided exactly once, here. 64 bits covers a
+/// paper-realistic 6x6 grid (2^36 lattice points) and every grid the
+/// guardband overhead would plausibly allow; `kMaxDomains` is the
+/// single ceiling the rest of the code checks against.
+using DomainMask = std::uint64_t;
+
+inline constexpr int kMaxDomains = 64;
+
+/// `1 << d` at DomainMask width. The shift is well-defined for every
+/// d in [0, kMaxDomains); the DCHECK catches the out-of-range shifts
+/// that were silent UB when masks were 32-bit.
+inline DomainMask MaskBit(int d) {
+  ADQ_DCHECK(d >= 0 && d < kMaxDomains);
+  return DomainMask{1} << d;
+}
+
+/// All `ndom` low bits set. Unlike the naive `(1 << ndom) - 1`, this
+/// is defined for ndom == kMaxDomains (the full-width mask).
+inline DomainMask FullMask(int ndom) {
+  ADQ_DCHECK(ndom >= 0 && ndom <= kMaxDomains);
+  return ndom >= kMaxDomains ? ~DomainMask{0}
+                             : (DomainMask{1} << ndom) - DomainMask{1};
+}
+
+/// Bit test at DomainMask width (DCHECKed shift).
+inline bool MaskHas(DomainMask mask, int d) {
+  ADQ_DCHECK(d >= 0 && d < kMaxDomains);
+  return ((mask >> d) & DomainMask{1}) != 0;
+}
 
 /// Runtime back-bias state of one Vth domain.
 /// NoBB = wells grounded, nominal (standard) threshold voltage.

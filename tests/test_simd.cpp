@@ -510,8 +510,8 @@ TEST(SimdSta, BatchBitIdenticalToScalarAcrossOperatorsAndWidths) {
       // Batch widths straddling the vector width, incl. a ragged tail.
       for (const std::size_t W :
            {std::size_t{1}, kW + 1, std::size_t{16}}) {
-        std::vector<std::uint32_t> lanes(W);
-        for (std::uint32_t& mk : lanes) mk = rng() % nmasks;
+        std::vector<tech::DomainMask> lanes(W);
+        for (tech::DomainMask& mk : lanes) mk = rng() % nmasks;
         const double vdd = 0.7 + 0.05 * static_cast<double>(W % 7);
         const auto batch =
             an.AnalyzeBatch(vdd, d.clock_ns, lanes, d.domain_of(), &ca);

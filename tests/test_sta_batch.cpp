@@ -68,9 +68,9 @@ TEST(StaBatch, BitIdenticalToScalarLanes) {
     const netlist::CaseAnalysis ca(d.op.nl, core::ForcedZeros(d.op, bw));
     const netlist::CaseAnalysis* cap = use_ca ? &ca : nullptr;
 
-    std::vector<std::uint32_t> lanes(
+    std::vector<tech::DomainMask> lanes(
         static_cast<std::size_t>(width_dist(rng)));
-    for (std::uint32_t& m : lanes) m = mask_dist(rng);
+    for (tech::DomainMask& m : lanes) m = mask_dist(rng);
 
     SCOPED_TRACE("trial=" + std::to_string(trial) +
                  " vdd=" + std::to_string(vdd) + " bw=" +
@@ -97,7 +97,7 @@ TEST(StaBatch, EmptyAndSingleLane) {
   // W = 1 is the degenerate batch the explorer issues for leftover
   // chunks; it must match scalar like any other width.
   const std::uint32_t mask = 0x5;
-  const std::vector<std::uint32_t> one{mask};
+  const std::vector<tech::DomainMask> one{mask};
   const std::vector<sta::TimingReport> batch =
       analyzer.AnalyzeBatch(0.8, d.clock_ns, one, d.domain_of());
   ASSERT_EQ(batch.size(), 1u);
@@ -146,7 +146,7 @@ TEST(StaBatch, LatticeExtremesBoundEveryMask) {
   const std::uint32_t nmasks = 1u << d.num_domains();
   const double vdd = 0.8;
 
-  std::vector<std::uint32_t> lanes(nmasks);
+  std::vector<tech::DomainMask> lanes(nmasks);
   for (std::uint32_t m = 0; m < nmasks; ++m) lanes[m] = m;
   const std::vector<sta::TimingReport> reps =
       analyzer.AnalyzeBatch(vdd, d.clock_ns, lanes, d.domain_of());

@@ -75,7 +75,7 @@ void ExpectReportsIdentical(const sta::TimingReport& inc,
 /// of AnalyzeBatch).
 void StepAndCheck(sta::IncrementalSta& eng, sta::TimingAnalyzer& fresh,
                   double vdd, double clock_ns,
-                  const std::vector<std::uint32_t>& lanes,
+                  const std::vector<tech::DomainMask>& lanes,
                   const std::vector<int>& domain_of,
                   const netlist::CaseAnalysis* ca) {
   const std::vector<sta::TimingReport> got =
@@ -141,14 +141,14 @@ void RunDifferentialSequence(const core::ImplementedDesign& d,
       }
     }
     const std::size_t W = static_cast<std::size_t>(width_dist(rng));
-    std::vector<std::uint32_t> lanes(W);
+    std::vector<tech::DomainMask> lanes(W);
     if (pct(rng) < 20) {
       // Unstructured batch: no locality at all.
-      for (std::uint32_t& m : lanes) m = mask_dist(rng);
+      for (tech::DomainMask& m : lanes) m = mask_dist(rng);
     } else {
       // Neighborhood batch: lanes within Hamming distance <= 2 of the
       // walked base point.
-      for (std::uint32_t& m : lanes) {
+      for (tech::DomainMask& m : lanes) {
         m = cur ^ (1u << dom_dist(rng));
         if (pct(rng) < 40) m ^= 1u << dom_dist(rng);
       }
@@ -198,7 +198,7 @@ TEST(StaIncremental, ZeroDirtyRepeatIsAHitAndVisitsNothing) {
   const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
   sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
   sta::TimingAnalyzer fresh(d.op.nl, Lib(), d.loads);
-  const std::vector<std::uint32_t> lanes(6, 0x5u);  // all lanes == base
+  const std::vector<tech::DomainMask> lanes(6, 0x5u);  // all lanes == base
   StepAndCheck(eng, fresh, 0.8, d.clock_ns, lanes, d.domain_of(),
                nullptr);
   ASSERT_EQ(eng.stats().full_fallbacks, 1);
@@ -270,14 +270,14 @@ TEST(StaIncremental, RevisitAfterRevertStaysIdentical) {
   StepAndCheck(eng, fresh, 0.9, d.clock_ns, {a}, d.domain_of(),
                nullptr);
   const std::vector<sta::TimingReport> first =
-      eng.AnalyzeBatch(0.9, d.clock_ns, std::vector<std::uint32_t>{a},
+      eng.AnalyzeBatch(0.9, d.clock_ns, std::vector<tech::DomainMask>{a},
                        d.domain_of(), nullptr);
   StepAndCheck(eng, fresh, 0.9, d.clock_ns, {b}, d.domain_of(),
                nullptr);
   StepAndCheck(eng, fresh, 0.9, d.clock_ns, {a}, d.domain_of(),
                nullptr);
   const std::vector<sta::TimingReport> again =
-      eng.AnalyzeBatch(0.9, d.clock_ns, std::vector<std::uint32_t>{a},
+      eng.AnalyzeBatch(0.9, d.clock_ns, std::vector<tech::DomainMask>{a},
                        d.domain_of(), nullptr);
   ExpectReportsIdentical(again[0], first[0]);
   EXPECT_EQ(eng.stats().full_fallbacks, 1);  // only the very first call
@@ -330,7 +330,7 @@ TEST(StaIncremental, ConvergenceEarlyExitOnReconvergentFanout) {
   sta::TimingAnalyzer fresh(nl, Lib(), loads);
   const double clock = 1.0;
   auto check = [&](std::uint32_t mask) {
-    const std::vector<std::uint32_t> lanes{mask};
+    const std::vector<tech::DomainMask> lanes{mask};
     const auto got = eng.AnalyzeBatch(0.9, clock, lanes, domain_of);
     const auto want = fresh.AnalyzeBatch(0.9, clock, lanes, domain_of);
     ExpectReportsIdentical(got[0], want[0]);
@@ -503,7 +503,7 @@ TEST(StaIncremental, EmptyBatchAndWidthLimit) {
   const core::ImplementedDesign d = MakeDesign(gen::BuildBoothOperator(8));
   sta::IncrementalSta eng(d.op.nl, Lib(), d.loads);
   EXPECT_TRUE(eng.AnalyzeBatch(1.0, d.clock_ns, {}, d.domain_of()).empty());
-  const std::vector<std::uint32_t> too_wide(
+  const std::vector<tech::DomainMask> too_wide(
       sta::IncrementalSta::kMaxLanes + 1, 0u);
   EXPECT_THROW(eng.AnalyzeBatch(1.0, d.clock_ns, too_wide, d.domain_of()),
                CheckError);
