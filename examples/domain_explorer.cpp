@@ -5,7 +5,8 @@
 /// Usage: domain_explorer [booth|butterfly|fir|mac|array] [NX] [NY]
 ///                        [regular|bands] [threads] [--lint=off|warn|error]
 ///                        [--engine=exhaustive|frontier|auto]
-///                        [--store=DIR] [--budget=N]
+///                        [--store=DIR] [--budget=N] [--quality=E]
+///                        [--no-static-prune]
 ///                        [--trace=f.json] [--metrics=f.json] [--progress]
 /// Defaults: booth 2 2 regular 0 (threads: 0 = one per hardware
 /// thread, 1 = serial; any value gives identical results — the
@@ -26,7 +27,14 @@
 /// absent) and writes fresh verdicts back — a second run trades its
 /// STA runs for store hits with bit-identical results. --budget=N
 /// caps the frontier search at N node expansions per accuracy mode
-/// (0 = run to certificate).
+/// (0 = run to certificate). --quality=E sets the worst-case absolute
+/// error target: modes whose statically *proved* error bound
+/// (analysis::AccuracyAnalyzer) exceeds E are discarded before any
+/// simulation or STA — the sim-free static-prune stage —
+/// and --no-static-prune runs the same target the slow way (sweep
+/// everything, discard post-hoc; bit-identical modes, for ablation).
+/// The --lint gate is applied by *both* exploration engines (the same
+/// core::SignoffLint the flow runs), not just by the flow itself.
 ///
 /// Observability (see README "Observability"): --trace writes a
 /// Chrome/Perfetto trace of the whole run (flow phases + per-worker
@@ -38,6 +46,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include <memory>
@@ -64,6 +73,8 @@ int main(int argc, char** argv) {
   std::string engine = "auto";
   std::string store_dir;
   long budget = 0;
+  double quality = std::numeric_limits<double>::infinity();
+  bool static_prune = true;
   std::vector<const char*> pos;  // positional args, flags stripped
   for (int i = 1; i < argc; ++i) {
     if (obs::ParseObsFlag(argv[i], &oopt)) continue;
@@ -82,6 +93,18 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--budget=", 9) == 0) {
       budget = std::atol(argv[i] + 9);
+      continue;
+    }
+    if (std::strncmp(argv[i], "--quality=", 10) == 0) {
+      quality = std::atof(argv[i] + 10);
+      if (!(quality >= 0.0)) {
+        std::fprintf(stderr, "--quality must be a non-negative error bound\n");
+        return 1;
+      }
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-static-prune") == 0) {
+      static_prune = false;
       continue;
     }
     if (std::strncmp(argv[i], "--lint=", 7) == 0) {
@@ -165,6 +188,9 @@ int main(int argc, char** argv) {
   core::ExploreOptions xopt;
   xopt.num_threads = threads;
   xopt.store = store.get();
+  xopt.lint = lint_gate;
+  xopt.quality_max_abs_error = quality;
+  xopt.static_prune = static_prune;
   core::ExplorationResult ours;
   core::FrontierResult frontier;
   if (use_frontier) {
@@ -172,6 +198,9 @@ int main(int argc, char** argv) {
     fropt.num_threads = threads;
     fropt.node_budget = budget;
     fropt.store = store.get();
+    fropt.lint = lint_gate;
+    fropt.quality_max_abs_error = quality;
+    fropt.static_prune = static_prune;
     frontier = core::FrontierExplore(design, lib, fropt);
     ours = frontier.ToExplorationResult();
   } else {
@@ -209,7 +238,12 @@ int main(int argc, char** argv) {
   if (use_frontier) {
     std::printf("\nmode certificates (frontier engine):\n");
     for (const core::FrontierModeResult& m : frontier.modes) {
-      if (m.certified)
+      if (m.statically_pruned)
+        std::printf(
+            "  bits %2d: statically pruned — proved error bound %.3e "
+            "exceeds the quality target (no sim, no STA)\n",
+            m.bitwidth, m.proved_max_abs_error);
+      else if (m.certified)
         std::printf("  bits %2d: proved optimal (%ld nodes expanded)\n",
                     m.bitwidth, m.nodes_expanded);
       else
@@ -220,19 +254,22 @@ int main(int argc, char** argv) {
     }
     std::printf(
         "frontier: %ld nodes expanded over %ld waves, %ld STA runs, "
-        "%ld store hits, %ld cross-bitwidth transfers "
-        "(%d/%zu modes certified, %d worker threads)\n",
+        "%ld store hits, %ld cross-bitwidth transfers, %ld modes "
+        "statically pruned (%d/%zu modes certified, %d worker "
+        "threads)\n",
         frontier.stats.nodes_expanded, frontier.stats.waves,
         frontier.stats.sta_runs, frontier.stats.store_hits,
-        frontier.stats.transfer_hits, frontier.stats.certified_modes,
-        frontier.modes.size(), util::ResolveNumThreads(threads));
+        frontier.stats.transfer_hits, frontier.stats.static_mode_prunes,
+        frontier.stats.certified_modes, frontier.modes.size(),
+        util::ResolveNumThreads(threads));
   } else {
     std::printf(
         "\nexploration: %ld points considered, %ld STA runs (%ld "
-        "mask-dominance pruned), %.0f%% filtered (%d worker threads)\n",
+        "mask-dominance pruned), %.0f%% filtered, %ld modes "
+        "statically pruned (%d worker threads)\n",
         ours.stats.points_considered, ours.stats.sta_runs,
         ours.stats.mask_pruned, 100.0 * ours.stats.FilterRate(),
-        util::ResolveNumThreads(threads));
+        ours.stats.static_mode_prunes, util::ResolveNumThreads(threads));
   }
   if (store) {
     const store::StoreStats ss = store->stats();

@@ -1,0 +1,154 @@
+#pragma once
+/// \file analysis.h
+/// \brief Static accuracy analyzer: proved per-mode error bounds and
+/// mode-aware constant propagation, with zero simulation.
+///
+/// The explorers historically paid a Monte Carlo PackedLogicSim run
+/// per candidate accuracy mode even when the answer is statically
+/// knowable from the netlist. This module abstract-interprets an
+/// operator under each accuracy mode (paper Sec. III-A: mode b zeroes
+/// the W-b LSBs of every scalable operand bus) and produces:
+///
+///   1. Ternary constant propagation — the zeroed LSBs become forced
+///      constants, cells fold, and the per-mode dead cone is exported
+///      as a netlist::CaseAnalysis (the same object sta:: keys its
+///      disabled-arc filtering on, and power:: its quiesced-leakage
+///      split), plus constant/quiesced-cell counts and per-output-bus
+///      togglable-bit counts (the bit-level toggle bound: a bit proven
+///      constant under the mode cannot toggle).
+///
+///   2. Interval value-range analysis over the recognized word-level
+///      structure — a sound worst-case bound on |exact - mode| per
+///      output bus. The five shipped operator templates (Booth/array
+///      multiply, MAC, folded FIR, FFT butterfly) are recognized by
+///      bus signature and *validated* against sim::LogicSim on
+///      deterministic probe vectors before being trusted; an operator
+///      that fails validation falls back to a gate-level taint
+///      analysis whose bound (sum of weights of tainted output bits)
+///      is sound for any netlist. For the multiplier templates the
+///      interval bound is exactly 2^(W+1) * ExpectedTruncationError(z)
+///      — the closed form the soundness property test pins.
+///
+///   3. A statically *achievable* error (the witness) evaluated on
+///      adversarial corner inputs of the validated word model — a
+///      lower bound on the true worst case, used by the AC001 lint
+///      rule to prove a quality spec unsatisfiable.
+///
+/// Accumulating operators (MAC/FIR) are bounded per accumulation
+/// frame: the envelope assumes `clr` is pulsed every
+/// OperatorSpec::accumulation_cycles cycles, the framing contract the
+/// activity extractor and the controller both implement.
+///
+/// Layering: analysis sits above netlist/gen/sim/lint and *below*
+/// core — core::ExploreDesignSpace and core::FrontierExplore call
+/// ProvedMaxAbsError() to discard modes whose proved bound already
+/// violates the quality target before any simulation or STA runs.
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/interval.h"
+#include "gen/operator.h"
+#include "lint/lint.h"
+#include "netlist/case_analysis.h"
+
+namespace adq::analysis {
+
+/// Proved error/toggle envelope for one output bus under one mode.
+struct BusBound {
+  std::string bus;            ///< output bus name
+  int width = 0;              ///< bus width in bits
+  double max_abs_error = 0;   ///< proved upper bound on |exact - mode|
+  int togglable_bits = 0;     ///< bits not proven constant in the mode
+};
+
+/// Full static analysis of one accuracy mode.
+struct ModeBounds {
+  int bitwidth = 0;           ///< active MSBs of each scalable bus
+  int zeroed_lsbs = 0;        ///< data_width - bitwidth
+  bool exact_model = false;   ///< word-level template (vs taint fallback)
+  /// Proved worst-case |exact - mode| over all output buses.
+  double max_abs_error = 0;
+  /// Statically achievable |error| (corner witness); 0 when the
+  /// fallback model cannot exhibit one. Always <= max_abs_error.
+  double witness_abs_error = 0;
+  std::vector<BusBound> outputs;
+  /// Per-mode ternary constant propagation: feeds sta:: case analysis,
+  /// power:: quiesced leakage and lint's mode-aware NL006.
+  std::shared_ptr<const netlist::CaseAnalysis> constants;
+  std::size_t constant_nets = 0;   ///< nets proven constant in the mode
+  std::size_t quiesced_cells = 0;  ///< cells with every output constant
+};
+
+/// Static accuracy analyzer for one operator. Construction recognizes
+/// and validates the word-level template once; per-mode queries are
+/// then cheap closed-form interval evaluations (no netlist traversal
+/// for ProvedMaxAbsError / WitnessAbsError).
+class AccuracyAnalyzer {
+ public:
+  explicit AccuracyAnalyzer(const gen::Operator& op);
+
+  /// True when a word-level template was recognized and validated
+  /// against sim::LogicSim; false means the sound taint fallback.
+  bool exact_model() const { return model_ != Model::kGeneric; }
+  /// "mult", "mac", "fir", "butterfly" or "generic".
+  const char* model_name() const;
+
+  /// Proved upper bound on |exact - mode| for accuracy mode
+  /// `bitwidth` (max over output buses). Cheap: no constant
+  /// propagation, no simulation.
+  double ProvedMaxAbsError(int bitwidth) const;
+
+  /// Statically achievable |error| for the mode — a lower bound on
+  /// the true worst case (0 when unknown).
+  double WitnessAbsError(int bitwidth) const;
+
+  /// Full analysis of one mode: constant propagation (CaseAnalysis),
+  /// quiesced-cell census, per-bus bounds and toggle envelopes.
+  ModeBounds Analyze(int bitwidth) const;
+
+  const gen::Operator& op() const { return op_; }
+
+ private:
+  enum class Model { kGeneric, kMult, kMac, kFir, kButterfly };
+
+  struct BusErr {
+    std::string bus;
+    int width = 0;
+    Wide bound = 0;  ///< exact integer bound for the bus
+  };
+
+  Model DetectModel() const;
+  bool ValidateModel(Model m) const;
+  /// Exact per-bus error envelopes for z zeroed LSBs.
+  std::vector<BusErr> BusBoundsFor(int zeroed) const;
+  Wide WitnessFor(int zeroed) const;
+  std::vector<BusErr> TaintBounds(int zeroed) const;
+
+  const gen::Operator& op_;
+  Model model_ = Model::kGeneric;
+};
+
+/// Quality target the AC001 rule checks a mode schedule against (and
+/// the explorers prune with). Infinity = no target.
+struct QualitySpec {
+  double max_abs_error = std::numeric_limits<double>::infinity();
+};
+
+/// Accuracy lint pass (rule family AC00x):
+///   AC001  quality-spec-unsatisfiable: every requested mode has a
+///          statically achievable error above the target (error);
+///   AC002  mask-bit-gates-no-logic: forcing one scalable operand bit
+///          to zero folds nothing beyond the port and its input
+///          register (warning);
+///   AC003  mode-constant-output: an output bus is provably constant
+///          under a requested mode (warning).
+/// `bitwidths` empty means every mode 1..data_width.
+lint::LintReport LintAccuracy(const gen::Operator& op,
+                              const QualitySpec& spec,
+                              const std::vector<int>& bitwidths = {},
+                              const lint::LintOptions& opt = {});
+
+}  // namespace adq::analysis

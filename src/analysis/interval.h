@@ -1,0 +1,136 @@
+#pragma once
+/// \file interval.h
+/// \brief Exact signed interval arithmetic for the static accuracy
+/// analyzer.
+///
+/// The error envelopes the analyzer proves are differences of values
+/// that live on buses up to 2*width+8 bits wide (the MAC/FIR
+/// accumulator), so plain 64-bit arithmetic overflows already at
+/// width 29. Every endpoint here is a signed 128-bit integer and
+/// every operation is exact — no rounding, no saturation — with
+/// overflow trapped by ADQ_CHECK (the analyzer caps the operand
+/// widths it models well before 128 bits run out). Conversions to
+/// double round *up*, so a bound that leaves this module as a double
+/// is still an upper bound on the exact integer envelope.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.h"
+
+namespace adq::analysis {
+
+/// Wide signed integer for exact envelope arithmetic.
+using Wide = __int128;
+
+/// 2^k as a Wide. k must leave headroom for sums of a few terms.
+inline Wide Pow2(int k) {
+  ADQ_CHECK(k >= 0 && k < 120);
+  return static_cast<Wide>(1) << k;
+}
+
+inline Wide WideAbs(Wide v) { return v < 0 ? -v : v; }
+
+/// Exact a*b with overflow trapped.
+inline Wide MulChecked(Wide a, Wide b) {
+  Wide r = 0;
+  ADQ_CHECK(!__builtin_mul_overflow(a, b, &r));
+  return r;
+}
+
+/// floor(v / 2^k) — arithmetic shift semantics on two's complement,
+/// written as explicit floor division so it cannot depend on
+/// implementation-defined right-shift behavior.
+inline Wide FloorShiftRight(Wide v, int k) {
+  ADQ_CHECK(k >= 0 && k < 120);
+  const Wide d = Pow2(k);
+  Wide q = v / d;
+  if (v % d != 0 && v < 0) --q;
+  return q;
+}
+
+/// Wraps v into the signed `bits`-bit range [-2^(bits-1), 2^(bits-1))
+/// — the value a `bits`-wide two's-complement bus holds after modular
+/// arithmetic.
+inline Wide WrapSigned(Wide v, int bits) {
+  ADQ_CHECK(bits > 0 && bits < 120);
+  const Wide m = Pow2(bits);
+  Wide r = v % m;
+  if (r < 0) r += m;                 // canonical residue in [0, 2^bits)
+  if (r >= m / 2) r -= m;            // reinterpret as signed
+  return r;
+}
+
+/// Nonnegative Wide -> double, rounded up (result >= v exactly).
+/// Keeps double-typed bounds sound once envelopes exceed 2^53.
+inline double ToDoubleCeil(Wide v) {
+  ADQ_CHECK(v >= 0);
+  double d = static_cast<double>(v);
+  while (static_cast<Wide>(d) < v) {
+    d = std::nextafter(d, std::numeric_limits<double>::infinity());
+  }
+  return d;
+}
+
+/// Closed signed interval [lo, hi]. Invariant lo <= hi.
+struct Interval {
+  Wide lo = 0;
+  Wide hi = 0;
+
+  static Interval Point(Wide v) { return {v, v}; }
+  static Interval Of(Wide lo, Wide hi) {
+    ADQ_CHECK(lo <= hi);
+    return {lo, hi};
+  }
+
+  bool Contains(Wide v) const { return lo <= v && v <= hi; }
+  Wide MaxAbs() const { return WideAbs(lo) > WideAbs(hi) ? WideAbs(lo)
+                                                         : WideAbs(hi); }
+
+  /// Both endpoints (hence every member) representable as a signed
+  /// `bits`-bit value — the wrap-freedom test for a bus of that width.
+  bool FitsSigned(int bits) const {
+    return lo >= -Pow2(bits - 1) && hi <= Pow2(bits - 1) - 1;
+  }
+
+  friend Interval operator+(Interval a, Interval b) {
+    return {a.lo + b.lo, a.hi + b.hi};
+  }
+  friend Interval operator-(Interval a, Interval b) {
+    return {a.lo - b.hi, a.hi - b.lo};
+  }
+  friend Interval operator-(Interval a) { return {-a.hi, -a.lo}; }
+
+  /// Exact interval product (4-corner rule).
+  static Interval Mul(Interval a, Interval b) {
+    const Wide p1 = MulChecked(a.lo, b.lo);
+    const Wide p2 = MulChecked(a.lo, b.hi);
+    const Wide p3 = MulChecked(a.hi, b.lo);
+    const Wide p4 = MulChecked(a.hi, b.hi);
+    Wide lo = p1, hi = p1;
+    for (Wide p : {p2, p3, p4}) {
+      if (p < lo) lo = p;
+      if (p > hi) hi = p;
+    }
+    return {lo, hi};
+  }
+
+  /// Scale by a nonnegative integer count (N accumulation cycles).
+  Interval ScaleN(Wide n) const {
+    ADQ_CHECK(n >= 0);
+    return {MulChecked(lo, n), MulChecked(hi, n)};
+  }
+
+  /// Envelope of floor(v / 2^k) over the interval.
+  Interval FloorShift(int k) const {
+    return {FloorShiftRight(lo, k), FloorShiftRight(hi, k)};
+  }
+
+  /// Convex hull.
+  static Interval Hull(Interval a, Interval b) {
+    return {a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi};
+  }
+};
+
+}  // namespace adq::analysis

@@ -37,4 +37,12 @@ double ExpectedTruncationError(int zeroed_lsbs) {
   return (static_cast<double>(1ULL << zeroed_lsbs) - 1.0) / 2.0;
 }
 
+double MultTruncationErrorBound(int width, int zeroed_lsbs) {
+  ADQ_CHECK(width >= 1 && width < 63);
+  ADQ_CHECK(zeroed_lsbs >= 0 && zeroed_lsbs <= width);
+  // 2^z - 1 is exact; scaling by 2^W only changes the exponent, so
+  // the product is exact in double for every width in range.
+  return std::ldexp(2.0 * ExpectedTruncationError(zeroed_lsbs), width);
+}
+
 }  // namespace adq::core

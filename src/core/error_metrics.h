@@ -28,4 +28,14 @@ ErrorStats CompareStreams(const std::vector<double>& reference,
 /// distributed operand: E|e| = (2^z - 1) / 2 per operand.
 double ExpectedTruncationError(int zeroed_lsbs);
 
+/// Closed-form worst-case absolute error of a W x W two's-complement
+/// multiplier with `z` zeroed LSBs per operand:
+///   max |a*b - trunc(a)*trunc(b)| = 2^W * (2^z - 1)
+///                                 = 2^(W+1) * ExpectedTruncationError(z).
+/// Exactly representable in double for every shipped width, and
+/// exactly the bound the static analyzer's interval analysis proves
+/// for the Booth/array multiplier templates (the soundness property
+/// test pins the equality).
+double MultTruncationErrorBound(int width, int zeroed_lsbs);
+
 }  // namespace adq::core

@@ -4,10 +4,13 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "analysis/analysis.h"
 #include "core/accuracy.h"
 #include "obs/obs.h"
 #include "sta/incremental.h"
@@ -582,6 +585,8 @@ void RecordExploreMetrics(const ExplorationResult& r, double seconds) {
   obs::GetCounter("explore.filtered").Add(r.stats.filtered);
   obs::GetCounter("explore.pruned_hits").Add(r.stats.pruned);
   obs::GetCounter("explore.mask_pruned").Add(r.stats.mask_pruned);
+  obs::GetCounter("explore.static_mode_prunes")
+      .Add(r.stats.static_mode_prunes);
   obs::GetCounter("explore.feasible").Add(r.stats.feasible);
   obs::GetCounter("explore.sta_incremental_hits")
       .Add(r.stats.sta_incremental_hits);
@@ -624,12 +629,51 @@ ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
         " = " + std::to_string(kMaxExhaustiveDomains) +
         "); restrict ExploreOptions::masks or use core::FrontierExplore");
 
+  // Signoff lint gate (shared with the flow and the frontier engine):
+  // exploring a corrupt netlist fails here, loudly, instead of deep
+  // inside a worker. Off by default.
+  SignoffLint(design, lib, opt.lint);
+
   std::vector<int> bitwidths = opt.bitwidths;
   if (bitwidths.empty()) {
     for (int b = 1; b <= design.op.spec.data_width; ++b)
       bitwidths.push_back(b);
   }
   std::sort(bitwidths.begin(), bitwidths.end());
+
+  // Static-prune stage: modes whose *proved* worst-case error bound
+  // (analysis::AccuracyAnalyzer — interval analysis of the validated
+  // word model, taint fallback otherwise) already violates the
+  // quality target are decided right here, with zero simulation and
+  // zero STA. The analyzer bound is sound (pinned against
+  // PackedLogicSim by tests/test_analysis_soundness), so a pruned
+  // mode could never have satisfied the target; surviving modes are
+  // swept exactly as before, and the per-mode activity extraction is
+  // a pure per-mode function, so their results are bit-identical to
+  // an unpruned run (tests/test_static_prune).
+  std::optional<analysis::AccuracyAnalyzer> quality;
+  const bool quality_finite = std::isfinite(opt.quality_max_abs_error);
+  if (quality_finite) quality.emplace(design.op);
+  std::vector<ModeResult> statically_pruned;
+  if (quality_finite && opt.static_prune) {
+    ADQ_TRACE_SCOPE("explore.static_prune");
+    std::vector<int> kept;
+    kept.reserve(bitwidths.size());
+    for (int bw : bitwidths) {
+      const double bound = quality->ProvedMaxAbsError(bw);
+      if (bound > opt.quality_max_abs_error) {
+        ModeResult m;
+        m.bitwidth = bw;
+        m.proved_max_abs_error = bound;
+        m.statically_pruned = true;
+        statically_pruned.push_back(m);
+      } else {
+        kept.push_back(bw);
+      }
+    }
+    bitwidths = std::move(kept);
+  }
+
   std::vector<tech::DomainMask> masks = opt.masks;
   if (masks.empty()) {
     const tech::DomainMask full = tech::FullMask(ndom);
@@ -643,8 +687,42 @@ ExplorationResult ExploreDesignSpace(const ImplementedDesign& design,
       pmodel.LeakWeightByDomain(design.partition.domain_of, ndom);
 
   const int num_threads = util::ResolveNumThreads(opt.num_threads);
-  ExplorationResult result = ExploreSweep(
-      design, lib, opt, bitwidths, masks, pmodel, dom_weight, num_threads);
+  // Every mode may have been statically pruned; the sweep (and its
+  // batched activity extraction) requires at least one mode, so skip
+  // it entirely in that case.
+  ExplorationResult result;
+  if (!bitwidths.empty())
+    result = ExploreSweep(design, lib, opt, bitwidths, masks, pmodel,
+                          dom_weight, num_threads);
+
+  if (quality_finite) {
+    // Annotate swept modes with their proved bound; with the
+    // static-prune stage disabled, apply the same verdicts post-hoc
+    // so the returned modes are bit-identical either way (only the
+    // stats — and the wall time — differ).
+    for (ModeResult& m : result.modes) {
+      const double bound = quality->ProvedMaxAbsError(m.bitwidth);
+      if (!opt.static_prune && bound > opt.quality_max_abs_error) {
+        ModeResult repl;
+        repl.bitwidth = m.bitwidth;
+        repl.proved_max_abs_error = bound;
+        repl.statically_pruned = true;
+        m = repl;
+      } else {
+        m.proved_max_abs_error = bound;
+      }
+    }
+    if (!statically_pruned.empty()) {
+      result.stats.static_mode_prunes =
+          static_cast<long>(statically_pruned.size());
+      for (ModeResult& m : statically_pruned)
+        result.modes.push_back(std::move(m));
+      std::sort(result.modes.begin(), result.modes.end(),
+                [](const ModeResult& a, const ModeResult& b) {
+                  return a.bitwidth < b.bitwidth;
+                });
+    }
+  }
   RecordExploreMetrics(
       result, std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - obs_t0)

@@ -24,6 +24,7 @@
 /// batch_width lanes per topological traversal (sta::AnalyzeBatch).
 
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -81,6 +82,17 @@ struct ModeResult {
   bool has_solution = false;
   ExploredPoint best;
   double switched_energy_fj = 0.0;  ///< per cycle at 1 V, this mode
+  /// Proved worst-case |exact - mode| bound from the static accuracy
+  /// analyzer (analysis::AccuracyAnalyzer::ProvedMaxAbsError).
+  /// Populated only when ExploreOptions::quality_max_abs_error is
+  /// finite; +inf otherwise.
+  double proved_max_abs_error = std::numeric_limits<double>::infinity();
+  /// True when the proved bound exceeds the quality target: the mode
+  /// is infeasible by construction and has_solution is false. With
+  /// static_prune on, such a mode was decided without any simulation
+  /// or STA; with it off the verdict is identical but reached
+  /// post-sweep (stats.static_mode_prunes stays 0).
+  bool statically_pruned = false;
 };
 
 struct ExplorationStats {
@@ -102,6 +114,13 @@ struct ExplorationStats {
                         ///< exploration store instead of an STA run
                         ///< (0 unless ExploreOptions::store is set);
                         ///< bit-identical trade against sta_runs
+  long static_mode_prunes = 0;  ///< accuracy modes decided by the
+                                ///< static analyzer alone (proved
+                                ///< bound > quality target): zero
+                                ///< activity simulation, zero STA.
+                                ///< Statically pruned modes never
+                                ///< enter points_considered, so the
+                                ///< identity above still holds.
   long feasible = 0;
   // Incremental-engine telemetry (zero under StaEngine::kBatch).
   // Unlike every field above, these depend on which worker served
@@ -115,7 +134,8 @@ struct ExplorationStats {
   double FilterRate() const {
     return points_considered == 0
                ? 0.0
-               : static_cast<double>(filtered) / points_considered;
+               : static_cast<double>(filtered) /
+                     static_cast<double>(points_considered);
   }
 };
 
@@ -202,6 +222,30 @@ struct ExploreOptions {
   /// disables both directions; the caller owns the store and decides
   /// when to Flush() it to disk.
   store::ExplorationStore* store = nullptr;
+  /// Quality target: largest acceptable worst-case |exact - mode|
+  /// error. When finite, every mode's proved bound (analysis::
+  /// AccuracyAnalyzer) is recorded in ModeResult::proved_max_abs_error
+  /// and modes whose *proved* bound exceeds the target are discarded
+  /// as infeasible-by-construction — no solution is ever reported for
+  /// them. Infinity (the default) disables the whole stage and keeps
+  /// historical results byte-identical.
+  double quality_max_abs_error = std::numeric_limits<double>::infinity();
+  /// When the quality target is finite, decide violating modes
+  /// *before* the sweep: they are dropped from activity extraction
+  /// and the STA lattice entirely (counted in stats.
+  /// static_mode_prunes). With static_prune = false the same modes
+  /// are swept and then discarded post-hoc — the returned modes list
+  /// is bit-identical either way (pinned by tests/test_static_prune);
+  /// only the stats (and wall time) differ, which is the ablation
+  /// bench_ablations measures.
+  bool static_prune = true;
+  /// Signoff lint gate applied to the implemented netlist before the
+  /// sweep — the same netlist DRC + flow-artifact rules the
+  /// implementation flow enforces at signoff (core::SignoffLint), so
+  /// a corrupt or hand-mutated netlist is rejected identically on the
+  /// exhaustive and frontier engines. kOff (the default) preserves
+  /// historical behavior.
+  lint::LintGate lint = lint::LintGate::kOff;
 };
 
 /// Throws ExploreError when the request asks for the full mask

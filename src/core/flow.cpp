@@ -173,17 +173,23 @@ ImplementedDesign RunImplementationFlow(gen::Operator op,
   // --- Signoff lint: the full netlist DRC again (the ECO passes
   // rewired and resized cells) plus every flow-artifact invariant,
   // now including the registered-I/O constraint discipline.
-  if (fopt.lint != lint::LintGate::kOff) {
-    ADQ_OBS_PHASE("flow.lint");
-    lint::LintReport rep = lint::LintNetlist(nl, lint_opt);
-    lint::FlowArtifacts art;
-    art.placement = &d.placement;
-    art.partition = &d.partition;
-    art.clock_ns = d.clock_ns;
-    rep.Merge(lint::LintFlow(nl, lib, art, lint_opt));
-    lint::EnforceGate(rep, fopt.lint);
-  }
+  SignoffLint(d, lib, fopt.lint);
   return d;
+}
+
+void SignoffLint(const ImplementedDesign& d, const tech::CellLibrary& lib,
+                 lint::LintGate gate) {
+  if (gate == lint::LintGate::kOff) return;
+  ADQ_OBS_PHASE("flow.lint");
+  lint::LintOptions lint_opt;
+  lint_opt.max_fanout = 8;
+  lint::LintReport rep = lint::LintNetlist(d.op.nl, lint_opt);
+  lint::FlowArtifacts art;
+  art.placement = &d.placement;
+  art.partition = &d.partition;
+  art.clock_ns = d.clock_ns;
+  rep.Merge(lint::LintFlow(d.op.nl, lib, art, lint_opt));
+  lint::EnforceGate(rep, gate);
 }
 
 ImplementedDesign FlatView(const ImplementedDesign& d,

@@ -91,4 +91,14 @@ ImplementedDesign RunImplementationFlow(gen::Operator op,
 ImplementedDesign FlatView(const ImplementedDesign& d,
                            const tech::CellLibrary& lib);
 
+/// The signoff lint gate: the full netlist DRC (with the fanout
+/// ceiling the buffering pass enforces) plus every flow-artifact
+/// invariant of the implemented design. RunImplementationFlow calls
+/// this at signoff; ExploreDesignSpace and FrontierExplore call the
+/// very same gate when their `lint` option is enabled, so a corrupt
+/// netlist is rejected identically on every engine (pinned by
+/// tests/test_explore_lint_gate). kOff is a no-op.
+void SignoffLint(const ImplementedDesign& d, const tech::CellLibrary& lib,
+                 lint::LintGate gate);
+
 }  // namespace adq::core

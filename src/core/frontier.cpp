@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <limits>
 #include <map>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <queue>
 #include <set>
 #include <string>
 #include <utility>
 
+#include "analysis/analysis.h"
 #include "core/accuracy.h"
 #include "core/band_optimizer.h"
 #include "obs/obs.h"
@@ -35,11 +38,14 @@ ExplorationResult FrontierResult::ToExplorationResult() const {
     mr.has_solution = m.has_solution;
     mr.best = m.best;
     mr.switched_energy_fj = m.switched_energy_fj;
+    mr.proved_max_abs_error = m.proved_max_abs_error;
+    mr.statically_pruned = m.statically_pruned;
     out.modes.push_back(mr);
     if (m.has_solution) ++out.stats.feasible;
   }
   out.stats.sta_runs = stats.sta_runs;
   out.stats.store_hits = stats.store_hits;
+  out.stats.static_mode_prunes = stats.static_mode_prunes;
   return out;
 }
 
@@ -123,6 +129,8 @@ void RecordFrontierMetrics(const FrontierResult& r, double seconds) {
   obs::GetCounter("frontier.sta_runs").Add(r.stats.sta_runs);
   obs::GetCounter("frontier.store_hits").Add(r.stats.store_hits);
   obs::GetCounter("frontier.transfer_hits").Add(r.stats.transfer_hits);
+  obs::GetCounter("frontier.static_mode_prunes")
+      .Add(r.stats.static_mode_prunes);
   obs::GetCounter("frontier.waves").Add(r.stats.waves);
   obs::GetCounter("frontier.certified_modes").Add(r.stats.certified_modes);
   obs::GetGauge("frontier.wall_s").Add(seconds);
@@ -146,12 +154,45 @@ FrontierResult FrontierExplore(const ImplementedDesign& design,
                                 << tech::kMaxDomains << "]");
   ADQ_CHECK(!opt.vdds.empty());
 
+  // Same signoff lint gate as the flow and the exhaustive engine.
+  SignoffLint(design, lib, opt.lint);
+
   std::vector<int> bitwidths = opt.bitwidths;
   if (bitwidths.empty()) {
     for (int b = 1; b <= design.op.spec.data_width; ++b)
       bitwidths.push_back(b);
   }
   std::sort(bitwidths.begin(), bitwidths.end());
+
+  // Static-prune stage — the admissible accuracy bound of the B&B.
+  // analysis::AccuracyAnalyzer proves a sound per-mode error bound;
+  // a mode whose bound violates the quality target has an empty
+  // feasible set, so the whole mode is decided here: no activity
+  // extraction, no criticality probe, no search tree. The verdict is
+  // a proof, so the mode counts as certified.
+  std::optional<analysis::AccuracyAnalyzer> quality;
+  const bool quality_finite = std::isfinite(opt.quality_max_abs_error);
+  if (quality_finite) quality.emplace(design.op);
+  std::vector<FrontierModeResult> statically_pruned;
+  if (quality_finite && opt.static_prune) {
+    ADQ_TRACE_SCOPE("frontier.static_prune");
+    std::vector<int> kept;
+    kept.reserve(bitwidths.size());
+    for (int bw : bitwidths) {
+      const double bound = quality->ProvedMaxAbsError(bw);
+      if (bound > opt.quality_max_abs_error) {
+        FrontierModeResult m;
+        m.bitwidth = bw;
+        m.certified = true;
+        m.proved_max_abs_error = bound;
+        m.statically_pruned = true;
+        statically_pruned.push_back(m);
+      } else {
+        kept.push_back(bw);
+      }
+    }
+    bitwidths = std::move(kept);
+  }
 
   power::PowerModel pmodel(nl, lib, design.loads);
   const std::vector<double> dom_weight =
@@ -191,7 +232,7 @@ FrontierResult FrontierExplore(const ImplementedDesign& design,
   std::vector<std::unique_ptr<const netlist::CaseAnalysis>> ca(
       bitwidths.size());
   std::vector<double> energy_fj(bitwidths.size(), 0.0);
-  {
+  if (!bitwidths.empty()) {
     ADQ_TRACE_SCOPE("frontier.mode_constants");
     std::vector<int> mode_lsbs(bitwidths.size());
     for (std::size_t i = 0; i < bitwidths.size(); ++i)
@@ -220,7 +261,7 @@ FrontierResult FrontierExplore(const ImplementedDesign& design,
   // whole search — is too.
   std::vector<int> perm(static_cast<std::size_t>(ndom));
   std::iota(perm.begin(), perm.end(), 0);
-  if (opt.criticality_slack_window_ns > 0.0) {
+  if (opt.criticality_slack_window_ns > 0.0 && !bitwidths.empty()) {
     ADQ_TRACE_SCOPE("frontier.criticality");
     const std::vector<double> crit = AccuracyCriticality(
         design.op, lib, design.loads, design.clock_ns, bitwidths,
@@ -485,10 +526,44 @@ FrontierResult FrontierExplore(const ImplementedDesign& design,
     } else {
       ++result.stats.certified_modes;
     }
+    if (quality_finite)
+      mode.proved_max_abs_error = quality->ProvedMaxAbsError(bw);
     result.modes.push_back(mode);
 
     for (const auto& [key, v] : verdicts)
       if (!v.feasible) carried_infeasible.insert(key);
+  }
+
+  if (quality_finite) {
+    // Static-prune off: the violating modes were searched anyway —
+    // replace them with the very placeholders the prune stage emits,
+    // so the modes list is bit-identical either way (the stats keep
+    // the full search cost, which is the point of the ablation).
+    if (!opt.static_prune) {
+      for (FrontierModeResult& m : result.modes) {
+        if (m.proved_max_abs_error > opt.quality_max_abs_error) {
+          FrontierModeResult repl;
+          repl.bitwidth = m.bitwidth;
+          repl.certified = true;
+          repl.proved_max_abs_error = m.proved_max_abs_error;
+          repl.statically_pruned = true;
+          m = repl;
+        }
+      }
+    }
+    if (!statically_pruned.empty()) {
+      result.stats.static_mode_prunes =
+          static_cast<long>(statically_pruned.size());
+      result.stats.certified_modes +=
+          static_cast<int>(statically_pruned.size());
+      for (FrontierModeResult& m : statically_pruned)
+        result.modes.push_back(std::move(m));
+      std::sort(result.modes.begin(), result.modes.end(),
+                [](const FrontierModeResult& a,
+                   const FrontierModeResult& b) {
+                  return a.bitwidth < b.bitwidth;
+                });
+    }
   }
 
   RecordFrontierMetrics(

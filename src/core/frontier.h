@@ -87,6 +87,19 @@ struct FrontierOptions {
   /// ExploreOptions::store (bit-identical, trades sta_runs for
   /// store_hits). The caller owns the store and its Flush().
   store::ExplorationStore* store = nullptr;
+  /// Quality target and static-prune stage, exactly as in
+  /// ExploreOptions: analysis::AccuracyAnalyzer::ProvedMaxAbsError is
+  /// the admissible accuracy bound of the branch-and-bound — a mode
+  /// whose proved error bound already violates the target has an
+  /// empty feasible set, so its entire (VDD, mask) search tree is
+  /// discarded before a single node is opened (no simulation, no
+  /// STA, no criticality probe for that mode).
+  double quality_max_abs_error = std::numeric_limits<double>::infinity();
+  bool static_prune = true;
+  /// Signoff lint gate (core::SignoffLint), as in ExploreOptions: the
+  /// frontier engine vets the implemented netlist with exactly the
+  /// gate the exhaustive Flow path uses. kOff by default.
+  lint::LintGate lint = lint::LintGate::kOff;
 };
 
 /// Outcome of one accuracy mode's lattice search.
@@ -103,6 +116,13 @@ struct FrontierModeResult {
   /// every open bound already exceeds the incumbent.
   double gap_w = 0.0;
   long nodes_expanded = 0;
+  /// Static accuracy verdict, as in ModeResult: the proved error
+  /// bound (populated when quality_max_abs_error is finite) and
+  /// whether it alone decided the mode. A statically pruned mode is
+  /// `certified` — the empty feasible set is a proof, not a budget
+  /// artifact.
+  double proved_max_abs_error = std::numeric_limits<double>::infinity();
+  bool statically_pruned = false;
 };
 
 struct FrontierStats {
@@ -114,6 +134,8 @@ struct FrontierStats {
   long store_hits = 0;    ///< verdicts served by the persistent store
   long transfer_hits = 0; ///< infeasibility carried from a smaller
                           ///< bitwidth (monotone in bitwidth)
+  long static_mode_prunes = 0;  ///< modes decided by the static
+                                ///< accuracy bound alone (no sim/STA)
   long waves = 0;
   int certified_modes = 0;
 };

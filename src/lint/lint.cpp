@@ -328,12 +328,19 @@ void CheckCombLoops(const Netlist& nl, Sink& sink) {
 
 // --- NL006 unreachable (dead) logic cones -----------------------------
 
-void CheckDeadCones(const Netlist& nl, Sink& sink) {
+void CheckDeadCones(const Netlist& nl, const netlist::CaseAnalysis* ca,
+                    Sink& sink) {
+  // With a per-mode case analysis, constant nets carry no events and
+  // do not propagate liveness: the rule reports mode-dead cones.
+  const auto can_toggle = [&](NetId n) {
+    return n.valid() && n.index() < nl.num_nets() &&
+           (ca == nullptr || !ca->IsConstant(n));
+  };
   std::vector<char> net_live(nl.num_nets(), 0);
   std::vector<char> inst_live(nl.num_instances(), 0);
   std::vector<std::uint32_t> work;
   for (const NetId po : nl.primary_outputs()) {
-    if (po.valid() && po.index() < nl.num_nets() && !net_live[po.index()]) {
+    if (can_toggle(po) && !net_live[po.index()]) {
       net_live[po.index()] = 1;
       work.push_back(static_cast<std::uint32_t>(po.index()));
     }
@@ -353,19 +360,28 @@ void CheckDeadCones(const Netlist& nl, Sink& sink) {
     if (!KindValid(inst)) continue;
     for (int p = 0; p < inst.num_inputs(); ++p) {
       const NetId in = inst.in[p];
-      if (in.valid() && in.index() < nl.num_nets() &&
-          !net_live[in.index()]) {
+      if (can_toggle(in) && !net_live[in.index()]) {
         net_live[in.index()] = 1;
         work.push_back(static_cast<std::uint32_t>(in.index()));
       }
     }
   }
   for (std::uint32_t i = 0; i < nl.num_instances(); ++i) {
-    if (!inst_live[i])
-      sink.Report(kRuleDeadCone, InstLoc(nl, InstId(i)),
-                  "cell reaches no primary output (dead logic: it still "
-                  "costs area, leakage and placement capacity)",
-                  "remove the cone or connect it to an output");
+    if (!inst_live[i]) {
+      if (ca != nullptr)
+        sink.Report(kRuleDeadCone, InstLoc(nl, InstId(i)),
+                    "cell reaches primary outputs only through nets "
+                    "proven constant in the analyzed accuracy mode "
+                    "(mode-dead logic: it still leaks while the mode "
+                    "is selected)",
+                    "sleep the domain in RBB or gate the cone's clock "
+                    "in this mode");
+      else
+        sink.Report(kRuleDeadCone, InstLoc(nl, InstId(i)),
+                    "cell reaches no primary output (dead logic: it "
+                    "still costs area, leakage and placement capacity)",
+                    "remove the cone or connect it to an output");
+    }
   }
 }
 
@@ -674,7 +690,7 @@ LintReport LintNetlist(const netlist::Netlist& nl, const LintOptions& opt) {
     ++rep.rules_run;
   }
   if (opt.RuleEnabled(kRuleDeadCone)) {
-    CheckDeadCones(nl, sink);
+    CheckDeadCones(nl, opt.case_analysis, sink);
     ++rep.rules_run;
   }
   if (opt.max_fanout > 0 && opt.RuleEnabled(kRuleFanoutCeiling)) {

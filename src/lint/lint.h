@@ -40,6 +40,7 @@
 
 #include "lint/diagnostics.h"
 #include "lint/rules.h"
+#include "netlist/case_analysis.h"
 #include "netlist/netlist.h"
 #include "place/grid_partition.h"
 #include "tech/cell_library.h"
@@ -56,6 +57,15 @@ struct LintOptions {
   /// one "... and N more" summary diagnostic (keeps reports bounded
   /// on pathological netlists).
   int max_diags_per_rule = 16;
+  /// Optional per-mode constant propagation consumed by NL006. A net
+  /// proven constant under the analyzed accuracy mode carries no
+  /// events, so liveness does not propagate through it: NL006 then
+  /// reports *mode-dead* cones — cells that reach a primary output
+  /// only through constant nets (the quiesced logic the static
+  /// accuracy analyzer exports per mode). Null (the default) keeps
+  /// the structural meaning: dead under every mode. The caller owns
+  /// the CaseAnalysis and must keep it alive across the lint call.
+  const netlist::CaseAnalysis* case_analysis = nullptr;
 
   bool RuleEnabled(const char* id) const;
 };

@@ -204,14 +204,14 @@ bool StartMetricsPump(const std::string& path, int interval_ms) {
   p.stop_requested = false;
   p.running = true;
   p.thread = std::thread([&p] {
-    std::unique_lock<std::mutex> lk(p.mu);
+    std::unique_lock<std::mutex> pump_lk(p.mu);
     for (;;) {
       const std::string path_copy = p.path;
       const int ms = p.interval_ms;
-      lk.unlock();
+      pump_lk.unlock();
       PumpWriteOnce(path_copy);
-      lk.lock();
-      if (p.cv.wait_for(lk, std::chrono::milliseconds(ms),
+      pump_lk.lock();
+      if (p.cv.wait_for(pump_lk, std::chrono::milliseconds(ms),
                         [&p] { return p.stop_requested; }))
         return;
     }

@@ -45,14 +45,16 @@ std::vector<Point> PortAnchors(const Netlist& nl, const Floorplan& fp) {
     if (anchored[pis[i].index()]) continue;
     anchor[pis[i].index()] = Point{
         0.0,
-        fp.height_um * (i + 0.5) / std::max<std::size_t>(1, pis.size())};
+        fp.height_um * (static_cast<double>(i) + 0.5) /
+            static_cast<double>(std::max<std::size_t>(1, pis.size()))};
   }
   const auto& pos = nl.primary_outputs();
   for (std::size_t i = 0; i < pos.size(); ++i) {
     if (anchored[pos[i].index()]) continue;
     anchor[pos[i].index()] = Point{
         fp.width_um,
-        fp.height_um * (i + 0.5) / std::max<std::size_t>(1, pos.size())};
+        fp.height_um * (static_cast<double>(i) + 0.5) /
+            static_cast<double>(std::max<std::size_t>(1, pos.size()))};
   }
   return anchor;
 }
@@ -320,8 +322,10 @@ Placement PlaceDesign(const Netlist& nl, const tech::CellLibrary& lib,
       return pl.pos[a].y < pl.pos[b].y;
     });
     for (std::size_t r = 0; r < n_cells; ++r) {
-      const double qx = (r + 0.5) / n_cells * pl.fp.width_um;
-      const double qy = (r + 0.5) / n_cells * pl.fp.height_um;
+      const double frac =
+          (static_cast<double>(r) + 0.5) / static_cast<double>(n_cells);
+      const double qx = frac * pl.fp.width_um;
+      const double qy = frac * pl.fp.height_um;
       Point& px = pl.pos[by_x[r]];
       Point& py = pl.pos[by_y[r]];
       px.x += beta * (qx - px.x);

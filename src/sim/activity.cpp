@@ -320,7 +320,8 @@ std::vector<ActivityProfile> ExtractActivityBatch(
   static obs::Gauge& hit_rate = obs::GetGauge("sim.activity_cache_hit_rate");
   if (const long total = cache_hits.value() + cache_misses.value();
       total > 0)
-    hit_rate.Set(static_cast<double>(cache_hits.value()) / total);
+    hit_rate.Set(static_cast<double>(cache_hits.value()) /
+                 static_cast<double>(total));
   return out;
 }
 

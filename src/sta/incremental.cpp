@@ -173,7 +173,8 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
     ++stats_.full_fallbacks;
     inc_falls.Add();
     if (const long calls = inc_calls.value(); calls > 0)
-      fallback_rate.Set(static_cast<double>(inc_falls.value()) / calls);
+      fallback_rate.Set(static_cast<double>(inc_falls.value()) /
+                        static_cast<double>(calls));
     return FullTraversal(vdd, clock_ns, lane_masks, domain_of_inst, ca);
   }
   st->last_used = ++lru_tick_;
@@ -230,7 +231,8 @@ std::vector<TimingReport> IncrementalSta::AnalyzeBatch(
       obs::GetCounter("sta.engine_dispatch_incremental");
   disp_inc.Add();
   if (const long calls = inc_calls.value(); calls > 0)
-    fallback_rate.Set(static_cast<double>(inc_falls.value()) / calls);
+    fallback_rate.Set(static_cast<double>(inc_falls.value()) /
+                      static_cast<double>(calls));
   stats_.scanned_instances += static_cast<long>(order_.size());
 
   auto net_active = [&](NetId n) {

@@ -87,7 +87,7 @@ const TimingAnalyzer::SweepSchedule& TimingAnalyzer::ScheduleFor(
   }
   for (const NetId pi : nl_.primary_inputs()) {
     if (!net_active(pi)) continue;
-    sched->pis.push_back(pi.index());
+    sched->pis.push_back(static_cast<std::uint32_t>(pi.index()));
     sched->reached[pi.index()] = 1;
   }
 
@@ -106,13 +106,13 @@ const TimingAnalyzer::SweepSchedule& TimingAnalyzer::ScheduleFor(
     for (int p = 0; p < inst.num_inputs(); ++p) {
       const NetId in = inst.in[p];
       if (!net_active(in) || !sched->reached[in.index()]) continue;
-      c.in_net[c.nin++] = in.index();
+      c.in_net[c.nin++] = static_cast<std::uint32_t>(in.index());
     }
     if (c.nin == 0) continue;
     for (int o = 0; o < inst.num_outputs(); ++o) {
       const NetId out = inst.out[o];
       if (!net_active(out)) continue;
-      c.out_net[c.nout] = out.index();
+      c.out_net[c.nout] = static_cast<std::uint32_t>(out.index());
       c.base[c.nout] = tab_.base_delay[2 * i + (std::size_t)o];
       c.wire[c.nout] = tab_.wire_delay[2 * i + (std::size_t)o];
       sched->reached[out.index()] = 1;

@@ -70,7 +70,8 @@ std::string Histogram::Render(double violation_mark,
     std::snprintf(buf, sizeof(buf), "  [%+7.3f, %+7.3f) %5ld ",
                   bin_lo(b), bin_hi(b), count(b));
     os << buf;
-    const int width = static_cast<int>(40.0 * count(b) / maxc);
+    const int width = static_cast<int>(40.0 * static_cast<double>(count(b)) /
+                                       static_cast<double>(maxc));
     for (int i = 0; i < width; ++i) os << (violating ? 'X' : '#');
     if (violating && count(b) > 0) os << "  <-- violating";
     os << '\n';

@@ -1,0 +1,294 @@
+/// Tests for the static accuracy analyzer (src/analysis): word-level
+/// template recognition for every shipped operator, exactness of the
+/// multiplier closed form, witness <= bound, the taint fallback on a
+/// netlist no template matches, the AC00x lint rule family, the
+/// mode-aware NL006 extension, and the quiesced-leakage power hook.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis.h"
+#include "analysis/interval.h"
+#include "core/accuracy.h"
+#include "core/error_metrics.h"
+#include "core/flow.h"
+#include "gen/operator.h"
+#include "lint/lint.h"
+#include "netlist/case_analysis.h"
+#include "power/power.h"
+#include "tech/cell_library.h"
+
+namespace adq {
+namespace {
+
+int CountRule(const lint::LintReport& rep, const char* rule) {
+  int n = 0;
+  for (const lint::Diagnostic& d : rep.diagnostics)
+    if (d.rule == rule) ++n;
+  return n;
+}
+
+/// A netlist no word-level template matches: registered pass-through
+/// of the scalable bus (forces the gate-level taint fallback).
+gen::Operator PassthroughOperator(int width) {
+  gen::Operator op;
+  op.nl = netlist::Netlist("passthrough");
+  const gen::Word a = gen::RegisteredInputBus(op.nl, "a", width);
+  gen::RegisteredOutputBus(op.nl, "o", a);
+  op.spec.name = "passthrough";
+  op.spec.scalable_buses = {"a"};
+  op.spec.data_width = width;
+  return op;
+}
+
+// ---------------- interval primitives ----------------
+
+TEST(Interval, ArithmeticAndBounds) {
+  using analysis::Interval;
+  const Interval a = Interval::Of(-3, 5);
+  const Interval b = Interval::Of(2, 4);
+  EXPECT_EQ((a + b).lo, -1);
+  EXPECT_EQ((a + b).hi, 9);
+  const Interval m = Interval::Mul(a, b);
+  EXPECT_EQ(m.lo, -12);
+  EXPECT_EQ(m.hi, 20);
+  EXPECT_EQ(m.MaxAbs(), 20);
+  EXPECT_TRUE(a.Contains(0));
+  EXPECT_FALSE(b.Contains(5));
+  EXPECT_TRUE(Interval::Of(-8, 7).FitsSigned(4));
+  EXPECT_FALSE(Interval::Of(-9, 0).FitsSigned(4));
+}
+
+TEST(Interval, ToDoubleCeilRoundsUp) {
+  // 2^64 + 1 is not representable: the conversion must round up,
+  // never down (a sound bound stays sound).
+  const analysis::Wide v = (analysis::Wide(1) << 64) + 1;
+  const double d = analysis::ToDoubleCeil(v);
+  EXPECT_GE(d, std::ldexp(1.0, 64));
+  EXPECT_TRUE(static_cast<analysis::Wide>(d) >= v);
+}
+
+// ---------------- template recognition ----------------
+
+TEST(Analyzer, RecognizesEveryShippedTemplate) {
+  const struct {
+    gen::Operator op;
+    const char* model;
+  } cases[] = {
+      {gen::BuildBoothOperator(8), "mult"},
+      {gen::BuildArrayMultOperator(8), "mult"},
+      {gen::BuildMacOperator(8), "mac"},
+      {gen::BuildFirMacOperator(8), "fir"},
+      {gen::BuildButterflyOperator(8), "butterfly"},
+  };
+  for (const auto& c : cases) {
+    const analysis::AccuracyAnalyzer az(c.op);
+    EXPECT_TRUE(az.exact_model()) << c.op.spec.name;
+    EXPECT_STREQ(az.model_name(), c.model) << c.op.spec.name;
+  }
+}
+
+TEST(Analyzer, TaintFallbackOnUnknownStructure) {
+  const gen::Operator op = PassthroughOperator(4);
+  const analysis::AccuracyAnalyzer az(op);
+  EXPECT_FALSE(az.exact_model());
+  EXPECT_STREQ(az.model_name(), "generic");
+  // Zeroing z LSBs of a pass-through taints exactly the low z output
+  // bits: bound = 2^z - 1.
+  EXPECT_DOUBLE_EQ(az.ProvedMaxAbsError(4), 0.0);
+  EXPECT_DOUBLE_EQ(az.ProvedMaxAbsError(2), 3.0);
+  EXPECT_DOUBLE_EQ(az.ProvedMaxAbsError(1), 7.0);
+  // The fallback cannot exhibit a witness.
+  EXPECT_DOUBLE_EQ(az.WitnessAbsError(2), 0.0);
+}
+
+// ---------------- bound properties ----------------
+
+TEST(Analyzer, MultBoundEqualsClosedForm) {
+  for (int width : {6, 8, 10}) {
+    for (const gen::Operator& op :
+         {gen::BuildBoothOperator(width),
+          gen::BuildArrayMultOperator(width)}) {
+      const analysis::AccuracyAnalyzer az(op);
+      ASSERT_TRUE(az.exact_model()) << op.spec.name;
+      for (int b = 1; b <= width; ++b) {
+        EXPECT_DOUBLE_EQ(az.ProvedMaxAbsError(b),
+                         core::MultTruncationErrorBound(width, width - b))
+            << op.spec.name << " bitwidth " << b;
+      }
+    }
+  }
+}
+
+TEST(ErrorMetrics, MultTruncationErrorBoundClosedForm) {
+  EXPECT_DOUBLE_EQ(core::MultTruncationErrorBound(8, 0), 0.0);
+  // 2^8 * (2^4 - 1) = 3840 = 2^9 * ExpectedTruncationError(4).
+  EXPECT_DOUBLE_EQ(core::MultTruncationErrorBound(8, 4), 3840.0);
+  EXPECT_DOUBLE_EQ(core::MultTruncationErrorBound(8, 4),
+                   std::ldexp(core::ExpectedTruncationError(4), 9));
+}
+
+TEST(Analyzer, WitnessNeverExceedsBoundAndBoundsAreMonotone) {
+  const gen::Operator ops[] = {
+      gen::BuildBoothOperator(8),   gen::BuildArrayMultOperator(8),
+      gen::BuildMacOperator(8),     gen::BuildFirMacOperator(8),
+      gen::BuildButterflyOperator(8)};
+  for (const gen::Operator& op : ops) {
+    const analysis::AccuracyAnalyzer az(op);
+    double prev = std::numeric_limits<double>::infinity();
+    for (int b = 1; b <= 8; ++b) {
+      const double bound = az.ProvedMaxAbsError(b);
+      EXPECT_LE(az.WitnessAbsError(b), bound) << op.spec.name << " " << b;
+      // More active bits can only shrink the proved envelope.
+      EXPECT_LE(bound, prev) << op.spec.name << " " << b;
+      prev = bound;
+    }
+    EXPECT_DOUBLE_EQ(az.ProvedMaxAbsError(8), 0.0) << op.spec.name;
+    EXPECT_DOUBLE_EQ(az.WitnessAbsError(8), 0.0) << op.spec.name;
+  }
+}
+
+TEST(Analyzer, AnalyzeExportsConstantsAndToggleBounds) {
+  const gen::Operator op = gen::BuildBoothOperator(8);
+  const analysis::AccuracyAnalyzer az(op);
+  const analysis::ModeBounds mb = az.Analyze(4);
+  EXPECT_EQ(mb.bitwidth, 4);
+  EXPECT_EQ(mb.zeroed_lsbs, 4);
+  EXPECT_TRUE(mb.exact_model);
+  EXPECT_DOUBLE_EQ(mb.max_abs_error, az.ProvedMaxAbsError(4));
+  EXPECT_DOUBLE_EQ(mb.witness_abs_error, az.WitnessAbsError(4));
+  ASSERT_NE(mb.constants, nullptr);
+  // The CaseAnalysis matches the one the explorers build per mode.
+  const netlist::CaseAnalysis ref(op.nl, core::ForcedZeros(op, 4));
+  EXPECT_EQ(mb.constants->fingerprint(), ref.fingerprint());
+  EXPECT_EQ(mb.constant_nets, ref.num_constant());
+  EXPECT_GT(mb.constant_nets, 0u);
+  EXPECT_GT(mb.quiesced_cells, 0u);
+  ASSERT_FALSE(mb.outputs.empty());
+  for (const analysis::BusBound& bb : mb.outputs) {
+    EXPECT_GE(bb.togglable_bits, 0);
+    EXPECT_LE(bb.togglable_bits, bb.width);
+    EXPECT_LE(bb.max_abs_error, mb.max_abs_error);
+  }
+  // Full precision: nothing forced, nothing quiesced, zero error.
+  const analysis::ModeBounds full = az.Analyze(8);
+  EXPECT_DOUBLE_EQ(full.max_abs_error, 0.0);
+  for (const analysis::BusBound& bb : full.outputs)
+    EXPECT_EQ(bb.togglable_bits, bb.width);
+}
+
+// ---------------- AC00x lint rules ----------------
+
+TEST(AccuracyLint, CleanOnShippedOperators) {
+  for (const gen::Operator& op :
+       {gen::BuildBoothOperator(8), gen::BuildMacOperator(8),
+        gen::BuildFirMacOperator(8), gen::BuildButterflyOperator(8)}) {
+    const lint::LintReport rep =
+        analysis::LintAccuracy(op, analysis::QualitySpec{});
+    EXPECT_EQ(rep.rules_run, 3) << op.spec.name;
+    EXPECT_TRUE(rep.clean()) << op.spec.name << "\n" << rep.Render();
+  }
+}
+
+TEST(AccuracyLint, AC001QualityUnsatisfiable) {
+  const gen::Operator op = gen::BuildBoothOperator(8);
+  analysis::QualitySpec spec;
+  spec.max_abs_error = 0.5;
+  // Only coarse modes requested: even the best one provably exceeds
+  // the target.
+  const lint::LintReport bad = analysis::LintAccuracy(op, spec, {2, 4});
+  EXPECT_EQ(CountRule(bad, lint::kRuleQualityUnsat), 1) << bad.Render();
+  EXPECT_GT(bad.errors(), 0);
+  // Adding the full-precision mode (witness 0) satisfies any target.
+  const lint::LintReport ok = analysis::LintAccuracy(op, spec, {2, 4, 8});
+  EXPECT_EQ(CountRule(ok, lint::kRuleQualityUnsat), 0) << ok.Render();
+  // No finite target, no check - but the rule still runs.
+  const lint::LintReport off = analysis::LintAccuracy(op, {}, {2, 4});
+  EXPECT_EQ(CountRule(off, lint::kRuleQualityUnsat), 0);
+  EXPECT_EQ(off.rules_run, 3);
+}
+
+TEST(AccuracyLint, AC002MaskBitGatesNoLogic) {
+  // Scalable bus of 4 bits, but only the top two feed any logic: the
+  // two low mask bits fold nothing beyond the port + input register.
+  gen::Operator op;
+  op.nl = netlist::Netlist("wasted_bits");
+  const gen::Word a = gen::RegisteredInputBus(op.nl, "a", 4);
+  gen::RegisteredOutputBus(op.nl, "o", {a[2], a[3]});
+  op.spec.name = "wasted_bits";
+  op.spec.scalable_buses = {"a"};
+  op.spec.data_width = 4;
+  const lint::LintReport rep =
+      analysis::LintAccuracy(op, analysis::QualitySpec{});
+  EXPECT_EQ(CountRule(rep, lint::kRuleMaskGatesNothing), 2)
+      << rep.Render();
+  EXPECT_EQ(rep.errors(), 0);  // warning-severity rule
+}
+
+TEST(AccuracyLint, AC003ConstantOutput) {
+  // The output bus reads only the low half of the scalable bus: any
+  // mode with bitwidth <= 2 pins the whole output to a constant.
+  gen::Operator op;
+  op.nl = netlist::Netlist("const_out");
+  const gen::Word a = gen::RegisteredInputBus(op.nl, "a", 4);
+  gen::RegisteredOutputBus(op.nl, "o", {a[0], a[1]});
+  op.spec.name = "const_out";
+  op.spec.scalable_buses = {"a"};
+  op.spec.data_width = 4;
+  const lint::LintReport rep =
+      analysis::LintAccuracy(op, analysis::QualitySpec{}, {1, 2, 3, 4});
+  // Modes 1 and 2 both zero bits a[0..1] away.
+  EXPECT_EQ(CountRule(rep, lint::kRuleConstantOutput), 2) << rep.Render();
+}
+
+// ---------------- mode-aware NL006 ----------------
+
+TEST(ModeAwareDeadCones, ConstantNetsDoNotPropagateLiveness) {
+  const gen::Operator op = gen::BuildBoothOperator(8);
+  // The generator ships a handful of structurally-constant cones that
+  // the plain rule already flags; the mode-aware run must find those
+  // PLUS the cones that only die because mode-2 pins their inputs.
+  lint::LintOptions opt;
+  opt.max_diags_per_rule = 1 << 20;
+  const lint::LintReport structural = lint::LintNetlist(op.nl, opt);
+  const int base = CountRule(structural, lint::kRuleDeadCone);
+  // Under a coarse accuracy mode the zeroed cone is mode-dead.
+  const netlist::CaseAnalysis ca(op.nl, core::ForcedZeros(op, 2));
+  opt.case_analysis = &ca;
+  const lint::LintReport modal = lint::LintNetlist(op.nl, opt);
+  EXPECT_GT(CountRule(modal, lint::kRuleDeadCone), base) << modal.Render();
+  EXPECT_EQ(modal.errors(), structural.errors());
+}
+
+// ---------------- quiesced-leakage power hook ----------------
+
+TEST(QuiescedLeakage, SplitsLeakageOfDisabledLogic) {
+  const tech::CellLibrary lib;
+  core::FlowOptions fopt;
+  fopt.grid = {1, 1};
+  const core::ImplementedDesign d =
+      core::RunImplementationFlow(gen::BuildBoothOperator(8), lib, fopt);
+  const power::PowerModel pmodel(d.op.nl, lib, d.loads);
+  const double total = pmodel.LeakageW(1.0, {});
+  const netlist::CaseAnalysis coarse(d.op.nl, core::ForcedZeros(d.op, 2));
+  const double quiesced = pmodel.QuiescedLeakageW(coarse, 1.0, {});
+  EXPECT_GT(quiesced, 0.0);
+  EXPECT_LT(quiesced, total);
+  // Full precision quiesces only the structurally-constant cones the
+  // generator ships; a coarse mode must quiesce strictly more.
+  const netlist::CaseAnalysis full(d.op.nl, core::ForcedZeros(d.op, 8));
+  const double baseline = pmodel.QuiescedLeakageW(full, 1.0, {});
+  EXPECT_LT(baseline, quiesced);
+  // More zeroed bits can only quiesce more cells.
+  const netlist::CaseAnalysis mid(d.op.nl, core::ForcedZeros(d.op, 5));
+  const double midway = pmodel.QuiescedLeakageW(mid, 1.0, {});
+  EXPECT_LE(baseline, midway);
+  EXPECT_LE(midway, quiesced);
+}
+
+}  // namespace
+}  // namespace adq

@@ -1,0 +1,156 @@
+/// Pins the machine-readable lint report schema (`netlist_lint
+/// --json` writes LintReport::ToJson()): field names, field order,
+/// diagnostic shape (rule id, severity, location, message, optional
+/// hint) and total consistency, all validated through the repo's own
+/// util::Json DOM parser. Downstream tooling parses this format; a
+/// schema drift must fail here, not in a consumer.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/operator.h"
+#include "lint/lint.h"
+#include "lint/rules.h"
+#include "netlist/netlist.h"
+#include "util/json.h"
+
+namespace adq {
+namespace {
+
+using netlist::NetId;
+using tech::CellKind;
+
+/// Deterministic fixture with one NL002 error (undriven net read by
+/// logic) and two NL006 warnings (a dead INV pair).
+netlist::Netlist BrokenFixture() {
+  netlist::Netlist nl("fixture");
+  const NetId in = nl.AddInputPort("i");
+  const NetId floating = nl.NewNet();  // never driven
+  const NetId x = nl.AddGate(CellKind::kAnd2, {in, floating});
+  const NetId d0 = nl.AddGate(CellKind::kInv, {in});
+  nl.AddGate(CellKind::kInv, {d0});  // dead pair: reaches no output
+  nl.AddOutputPort("o", x);
+  return nl;
+}
+
+TEST(LintJsonSchema, TopLevelFieldsAndOrder) {
+  const netlist::Netlist nl = BrokenFixture();
+  const lint::LintReport rep = lint::LintNetlist(nl);
+  std::string err;
+  const util::Json doc = util::Json::Parse(rep.ToJson(), &err);
+  ASSERT_TRUE(doc.is_object()) << err;
+
+  // The exact top-level schema, in document order. Consumers index by
+  // name, but a stable order keeps textual diffs reviewable.
+  const std::vector<std::string> expect = {
+      "subject", "scope",  "rules_run",  "errors",
+      "warnings", "clean", "diagnostics"};
+  ASSERT_EQ(doc.fields().size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i)
+    EXPECT_EQ(doc.fields()[i].first, expect[i]) << "field index " << i;
+
+  EXPECT_EQ(doc.Get("subject")->AsString(), "fixture");
+  EXPECT_EQ(doc.Get("scope")->AsString(), "netlist");
+  EXPECT_GT(doc.Get("rules_run")->AsNumber(), 0.0);
+  EXPECT_FALSE(doc.Get("clean")->AsBool(true));
+  ASSERT_TRUE(doc.Get("diagnostics")->is_array());
+}
+
+TEST(LintJsonSchema, DiagnosticShapeAndTotals) {
+  const netlist::Netlist nl = BrokenFixture();
+  const lint::LintReport rep = lint::LintNetlist(nl);
+  const util::Json doc = util::Json::Parse(rep.ToJson());
+  ASSERT_TRUE(doc.is_object());
+
+  int errors = 0, warnings = 0;
+  bool saw_undriven = false, saw_dead = false;
+  for (const util::Json& d : doc.Get("diagnostics")->items()) {
+    ASSERT_TRUE(d.is_object());
+    // Required fields, fixed order; "hint" is optional and last.
+    ASSERT_GE(d.fields().size(), 4u);
+    EXPECT_EQ(d.fields()[0].first, "rule");
+    EXPECT_EQ(d.fields()[1].first, "severity");
+    EXPECT_EQ(d.fields()[2].first, "location");
+    EXPECT_EQ(d.fields()[3].first, "message");
+    if (d.fields().size() > 4u) {
+      ASSERT_EQ(d.fields().size(), 5u);
+      EXPECT_EQ(d.fields()[4].first, "hint");
+    }
+    const std::string& sev = d.Get("severity")->AsString();
+    EXPECT_TRUE(sev == "error" || sev == "warning") << sev;
+    if (sev == "error") ++errors;
+    if (sev == "warning") ++warnings;
+    // Rule ids are the registry's: two letters + three digits.
+    const std::string& rule = d.Get("rule")->AsString();
+    ASSERT_EQ(rule.size(), 5u) << rule;
+    EXPECT_FALSE(d.Get("location")->AsString().empty()) << rule;
+    if (rule == lint::kRuleUndrivenNet) {
+      saw_undriven = true;
+      EXPECT_NE(d.Get("location")->AsString().find("net"),
+                std::string::npos);
+    }
+    if (rule == lint::kRuleDeadCone) saw_dead = true;
+  }
+  // The totals the header advertises match the diagnostics array.
+  EXPECT_EQ(static_cast<int>(doc.Get("errors")->AsNumber()), errors);
+  EXPECT_EQ(static_cast<int>(doc.Get("warnings")->AsNumber()), warnings);
+  EXPECT_EQ(errors, rep.errors());
+  EXPECT_EQ(warnings, rep.warnings());
+  EXPECT_TRUE(saw_undriven);
+  EXPECT_TRUE(saw_dead);
+}
+
+TEST(LintJsonSchema, GoldenReportByteExact) {
+  // A fully deterministic report pinned byte-for-byte: any change to
+  // the serialization (naming, order, escaping, number format) must
+  // be a conscious schema bump.
+  lint::LintReport rep;
+  rep.subject = "golden \"op\"";
+  rep.scope = "netlist";
+  rep.rules_run = 2;
+  lint::Diagnostic e;
+  e.rule = lint::kRuleMultiDriver;
+  e.severity = lint::Severity::kError;
+  e.location = "net 7";
+  e.message = "two drivers";
+  e.hint = "keep one";
+  rep.Add(std::move(e));
+  lint::Diagnostic w;
+  w.rule = lint::kRuleDeadCone;
+  w.severity = lint::Severity::kWarning;
+  w.location = "inst 3 (inv)";
+  w.message = "dead";
+  rep.Add(std::move(w));
+
+  const std::string expected =
+      "{\"subject\":\"golden \\\"op\\\"\",\"scope\":\"netlist\","
+      "\"rules_run\":2,\"errors\":1,\"warnings\":1,\"clean\":false,"
+      "\"diagnostics\":[{\"rule\":\"NL001\",\"severity\":\"error\","
+      "\"location\":\"net 7\",\"message\":\"two drivers\","
+      "\"hint\":\"keep one\"},{\"rule\":\"NL006\",\"severity\":"
+      "\"warning\",\"location\":\"inst 3 (inv)\",\"message\":\"dead\"}]}";
+  EXPECT_EQ(rep.ToJson(), expected);
+  EXPECT_TRUE(util::Json::Valid(expected));
+}
+
+TEST(LintJsonSchema, CleanOperatorReportParses) {
+  // A shipped generator netlist: no structural errors (the booth
+  // generators do carry advisory dead-cone warnings), so the report
+  // is "clean" with a warnings-only diagnostics array.
+  const gen::Operator op = gen::BuildBoothOperator(4);
+  const lint::LintReport rep = lint::LintNetlist(op.nl);
+  std::string err;
+  const util::Json doc = util::Json::Parse(rep.ToJson(), &err);
+  ASSERT_TRUE(doc.is_object()) << err;
+  EXPECT_TRUE(doc.Get("clean")->AsBool(false));
+  EXPECT_EQ(static_cast<int>(doc.Get("errors")->AsNumber()), 0);
+  EXPECT_EQ(doc.Get("diagnostics")->size(),
+            static_cast<std::size_t>(rep.warnings()));
+  for (const util::Json& d : doc.Get("diagnostics")->items())
+    EXPECT_EQ(d.Get("severity")->AsString(), "warning");
+}
+
+}  // namespace
+}  // namespace adq

@@ -1,0 +1,238 @@
+/// Tests for the sim-free static-prune stage of both exploration
+/// engines and for the shared signoff lint gate:
+///
+///   * with a finite quality target, static_prune on/off returns
+///     bit-identical mode lists — only the stats (evaluations spent)
+///     differ, and the pruned run spends strictly less;
+///   * surviving modes are bit-identical to an unconstrained run
+///     (static pruning never perturbs what it keeps);
+///   * an all-modes-pruned request completes without any sweep;
+///   * a corrupt netlist is rejected by the same signoff lint gate on
+///     the exhaustive and the frontier engine alike.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/explore.h"
+#include "core/flow.h"
+#include "core/frontier.h"
+#include "gen/operator.h"
+#include "netlist/netlist.h"
+#include "tech/cell_library.h"
+#include "util/check.h"
+
+namespace adq {
+namespace {
+
+const tech::CellLibrary& Lib() {
+  static const tech::CellLibrary lib;
+  return lib;
+}
+
+const core::ImplementedDesign& Design() {
+  static const core::ImplementedDesign d = [] {
+    core::FlowOptions fopt;
+    fopt.grid = {2, 2};
+    fopt.clock_ns = 0.55;
+    return core::RunImplementationFlow(gen::BuildBoothOperator(8), Lib(),
+                                       fopt);
+  }();
+  return d;
+}
+
+// booth8 proved bounds: b=2 -> 16128, b=4 -> 3840, b=6 -> 768,
+// b=8 -> 0. A target of 1000 prunes {2, 4} and keeps {6, 8}.
+constexpr double kTarget = 1000.0;
+
+core::ExploreOptions BaseOptions() {
+  core::ExploreOptions opt;
+  opt.bitwidths = {2, 4, 6, 8};
+  opt.activity_cycles = 128;
+  return opt;
+}
+
+void ExpectModeEq(const core::ModeResult& a, const core::ModeResult& b) {
+  EXPECT_EQ(a.bitwidth, b.bitwidth);
+  EXPECT_EQ(a.has_solution, b.has_solution);
+  EXPECT_EQ(a.statically_pruned, b.statically_pruned);
+  EXPECT_EQ(a.proved_max_abs_error, b.proved_max_abs_error);
+  EXPECT_EQ(a.switched_energy_fj, b.switched_energy_fj);
+  EXPECT_EQ(a.best.bitwidth, b.best.bitwidth);
+  EXPECT_EQ(a.best.vdd, b.best.vdd);
+  EXPECT_EQ(a.best.mask, b.best.mask);
+  EXPECT_EQ(a.best.rbb_mask, b.best.rbb_mask);
+  EXPECT_EQ(a.best.feasible, b.best.feasible);
+  EXPECT_EQ(a.best.wns_ns, b.best.wns_ns);
+  EXPECT_EQ(a.best.power.dynamic_w, b.best.power.dynamic_w);
+  EXPECT_EQ(a.best.power.leakage_w, b.best.power.leakage_w);
+}
+
+TEST(StaticPrune, ExhaustiveOnOffBitIdentical) {
+  core::ExploreOptions on = BaseOptions();
+  on.quality_max_abs_error = kTarget;
+  on.static_prune = true;
+  core::ExploreOptions off = on;
+  off.static_prune = false;
+
+  const core::ExplorationResult ron =
+      core::ExploreDesignSpace(Design(), Lib(), on);
+  const core::ExplorationResult roff =
+      core::ExploreDesignSpace(Design(), Lib(), off);
+
+  ASSERT_EQ(ron.modes.size(), 4u);
+  ASSERT_EQ(roff.modes.size(), 4u);
+  for (std::size_t i = 0; i < ron.modes.size(); ++i)
+    ExpectModeEq(ron.modes[i], roff.modes[i]);
+
+  // The verdicts: {2, 4} infeasible by proof, {6, 8} explored.
+  EXPECT_TRUE(ron.Mode(2).statically_pruned);
+  EXPECT_TRUE(ron.Mode(4).statically_pruned);
+  EXPECT_FALSE(ron.Mode(6).statically_pruned);
+  EXPECT_FALSE(ron.Mode(8).statically_pruned);
+  EXPECT_FALSE(ron.Mode(2).has_solution);
+  EXPECT_TRUE(ron.Mode(8).has_solution);
+  EXPECT_DOUBLE_EQ(ron.Mode(4).proved_max_abs_error, 3840.0);
+  EXPECT_DOUBLE_EQ(ron.Mode(6).proved_max_abs_error, 768.0);
+
+  // Only the pruned run decided modes without simulation or STA.
+  EXPECT_EQ(ron.stats.static_mode_prunes, 2);
+  EXPECT_EQ(roff.stats.static_mode_prunes, 0);
+  EXPECT_LT(ron.stats.sta_runs, roff.stats.sta_runs);
+  EXPECT_LT(ron.stats.points_considered, roff.stats.points_considered);
+}
+
+TEST(StaticPrune, SurvivingModesMatchUnconstrainedRun) {
+  core::ExploreOptions on = BaseOptions();
+  on.quality_max_abs_error = kTarget;
+  const core::ExplorationResult pruned =
+      core::ExploreDesignSpace(Design(), Lib(), on);
+  const core::ExplorationResult free_run =
+      core::ExploreDesignSpace(Design(), Lib(), BaseOptions());
+
+  for (int bw : {6, 8}) {
+    const core::ModeResult& a = pruned.Mode(bw);
+    const core::ModeResult& b = free_run.Mode(bw);
+    EXPECT_EQ(a.has_solution, b.has_solution);
+    EXPECT_EQ(a.switched_energy_fj, b.switched_energy_fj);
+    EXPECT_EQ(a.best.vdd, b.best.vdd);
+    EXPECT_EQ(a.best.mask, b.best.mask);
+    EXPECT_EQ(a.best.wns_ns, b.best.wns_ns);
+    EXPECT_EQ(a.best.power.dynamic_w, b.best.power.dynamic_w);
+    EXPECT_EQ(a.best.power.leakage_w, b.best.power.leakage_w);
+  }
+  // No finite target: nothing is annotated, nothing pruned.
+  EXPECT_EQ(free_run.stats.static_mode_prunes, 0);
+  for (const core::ModeResult& m : free_run.modes) {
+    EXPECT_FALSE(m.statically_pruned);
+    EXPECT_EQ(m.proved_max_abs_error,
+              std::numeric_limits<double>::infinity());
+  }
+}
+
+TEST(StaticPrune, AllModesPrunedSkipsTheSweepEntirely) {
+  core::ExploreOptions opt = BaseOptions();
+  opt.bitwidths = {2, 4, 6};
+  opt.quality_max_abs_error = 0.5;
+  const core::ExplorationResult r =
+      core::ExploreDesignSpace(Design(), Lib(), opt);
+  ASSERT_EQ(r.modes.size(), 3u);
+  for (const core::ModeResult& m : r.modes) {
+    EXPECT_TRUE(m.statically_pruned);
+    EXPECT_FALSE(m.has_solution);
+  }
+  EXPECT_EQ(r.stats.static_mode_prunes, 3);
+  EXPECT_EQ(r.stats.points_considered, 0);
+  EXPECT_EQ(r.stats.sta_runs, 0);
+}
+
+TEST(StaticPrune, FrontierOnOffBitIdentical) {
+  core::FrontierOptions on;
+  on.bitwidths = {2, 4, 6, 8};
+  on.activity_cycles = 128;
+  on.quality_max_abs_error = kTarget;
+  on.static_prune = true;
+  core::FrontierOptions off = on;
+  off.static_prune = false;
+
+  const core::FrontierResult ron =
+      core::FrontierExplore(Design(), Lib(), on);
+  const core::FrontierResult roff =
+      core::FrontierExplore(Design(), Lib(), off);
+
+  ASSERT_EQ(ron.modes.size(), 4u);
+  ASSERT_EQ(roff.modes.size(), 4u);
+  for (std::size_t i = 0; i < ron.modes.size(); ++i) {
+    const core::FrontierModeResult& a = ron.modes[i];
+    const core::FrontierModeResult& b = roff.modes[i];
+    EXPECT_EQ(a.bitwidth, b.bitwidth);
+    EXPECT_EQ(a.has_solution, b.has_solution);
+    EXPECT_EQ(a.certified, b.certified);
+    EXPECT_EQ(a.gap_w, b.gap_w);
+    EXPECT_EQ(a.nodes_expanded, b.nodes_expanded);
+    EXPECT_EQ(a.statically_pruned, b.statically_pruned);
+    EXPECT_EQ(a.proved_max_abs_error, b.proved_max_abs_error);
+    EXPECT_EQ(a.switched_energy_fj, b.switched_energy_fj);
+    EXPECT_EQ(a.best.vdd, b.best.vdd);
+    EXPECT_EQ(a.best.mask, b.best.mask);
+    EXPECT_EQ(a.best.wns_ns, b.best.wns_ns);
+    EXPECT_EQ(a.best.power.dynamic_w, b.best.power.dynamic_w);
+    EXPECT_EQ(a.best.power.leakage_w, b.best.power.leakage_w);
+  }
+  // Pruned modes are certified by proof, with no search spent.
+  EXPECT_TRUE(ron.Mode(2).statically_pruned);
+  EXPECT_TRUE(ron.Mode(2).certified);
+  EXPECT_EQ(ron.Mode(2).nodes_expanded, 0);
+  EXPECT_EQ(ron.stats.static_mode_prunes, 2);
+  EXPECT_EQ(roff.stats.static_mode_prunes, 0);
+  EXPECT_LT(ron.stats.sta_runs, roff.stats.sta_runs);
+  EXPECT_LT(ron.stats.nodes_expanded, roff.stats.nodes_expanded);
+
+  // The adapter carries the static verdicts into the exhaustive shape.
+  const core::ExplorationResult adapted = ron.ToExplorationResult();
+  EXPECT_TRUE(adapted.Mode(2).statically_pruned);
+  EXPECT_DOUBLE_EQ(adapted.Mode(4).proved_max_abs_error, 3840.0);
+  EXPECT_EQ(adapted.stats.static_mode_prunes, 2);
+}
+
+// ---------------- signoff lint gate on both engines ----------------
+
+core::ImplementedDesign CorruptCopy() {
+  core::ImplementedDesign d = Design();
+  // Second driver claims an existing net: an NL001 structural error
+  // the signoff DRC must catch.
+  netlist::RawAccess raw(d.op.nl);
+  raw.inst(netlist::InstId(1)).out[0] = raw.inst(netlist::InstId(0)).out[0];
+  return d;
+}
+
+TEST(LintGate, ExhaustiveEngineRejectsCorruptNetlist) {
+  const core::ImplementedDesign bad = CorruptCopy();
+  core::ExploreOptions opt = BaseOptions();
+  opt.lint = lint::LintGate::kError;
+  EXPECT_THROW(core::ExploreDesignSpace(bad, Lib(), opt), CheckError);
+  // The gate runs before the sweep: a clean design with the gate on
+  // explores normally.
+  const core::ExplorationResult ok =
+      core::ExploreDesignSpace(Design(), Lib(), opt);
+  EXPECT_EQ(ok.modes.size(), 4u);
+}
+
+TEST(LintGate, FrontierEngineRejectsCorruptNetlistIdentically) {
+  const core::ImplementedDesign bad = CorruptCopy();
+  core::FrontierOptions opt;
+  opt.bitwidths = {8};
+  opt.activity_cycles = 128;
+  opt.lint = lint::LintGate::kError;
+  EXPECT_THROW(core::FrontierExplore(bad, Lib(), opt), CheckError);
+  // kOff preserves historical behavior (no gate, no throw) — probed
+  // on the clean design only; never sweep a corrupt netlist.
+  core::FrontierOptions off = opt;
+  off.lint = lint::LintGate::kOff;
+  const core::FrontierResult ok =
+      core::FrontierExplore(Design(), Lib(), off);
+  EXPECT_EQ(ok.modes.size(), 1u);
+}
+
+}  // namespace
+}  // namespace adq

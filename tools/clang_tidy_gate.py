@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Blocking clang-tidy gate with a committed baseline.
+
+Runs clang-tidy (profile: repo-root .clang-tidy) over every
+translation unit under src/ and fails ONLY on diagnostics that are not
+covered by the baseline file. The baseline grandfathers the tree that
+predates the gate so enabling a new check never breaks unrelated PRs;
+new files and files whose baseline entry was removed are fully
+blocking.
+
+Baseline format — one entry per line, `#` comments allowed:
+
+    <repo-relative-file>:<check-pattern>
+
+`check-pattern` is an fnmatch glob matched against the clang-tidy
+check name (e.g. `bugprone-use-after-move`); `*` grandfathers every
+check for that file. The ratchet: delete a file's line once it is
+clean and the gate keeps it clean forever.
+
+Usage:
+    tools/clang_tidy_gate.py --build build [--baseline FILE]
+    tools/clang_tidy_gate.py --build build --update-baseline
+
+Exit status: 0 when every diagnostic is baselined, 1 when new
+diagnostics are found (they are printed), 2 on environment errors
+(clang-tidy missing, no compile database).
+"""
+
+import argparse
+import fnmatch
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+# `path:line:col: warning: message [check-name,...]`
+DIAG_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+.*\[(?P<checks>[A-Za-z0-9.,_-]+)\]\s*$"
+)
+
+
+def repo_root() -> str:
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def list_sources(root: str) -> list:
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(os.path.join(root, "src")):
+        for name in sorted(filenames):
+            if name.endswith(".cpp"):
+                out.append(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(out)
+
+
+def run_clang_tidy(root: str, build_dir: str, sources: list) -> str:
+    """Returns the concatenated stdout of clang-tidy over all sources."""
+    tidy = shutil.which("clang-tidy")
+    if tidy is None:
+        print("clang_tidy_gate: clang-tidy not found on PATH", file=sys.stderr)
+        sys.exit(2)
+    if not os.path.exists(os.path.join(root, build_dir, "compile_commands.json")):
+        print(
+            f"clang_tidy_gate: {build_dir}/compile_commands.json missing "
+            "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    # One invocation for the whole list: clang-tidy parallelises poorly
+    # but keeps per-TU state small; the CI tree is ~60 TUs.
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet"] + sources,
+        cwd=root,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    # Exit status is ignored here on purpose: WarningsAsErrors stays
+    # empty in .clang-tidy and THIS script is the arbiter of failure.
+    return proc.stdout
+
+
+def parse_fingerprints(output: str, root: str) -> set:
+    """Normalises diagnostics to `file:check` pairs (line numbers drift
+    with unrelated edits and would make the baseline churn)."""
+    fingerprints = set()
+    for line in output.splitlines():
+        m = DIAG_RE.match(line.strip())
+        if not m:
+            continue
+        path = m.group("path")
+        if os.path.isabs(path):
+            path = os.path.relpath(path, root)
+        path = path.replace(os.sep, "/")
+        if not path.startswith("src/"):
+            continue  # third-party / generated headers are not gated
+        for check in m.group("checks").split(","):
+            fingerprints.add(f"{path}:{check.strip()}")
+    return fingerprints
+
+
+def load_baseline(path: str) -> list:
+    entries = []
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            file_part, _, check_part = line.rpartition(":")
+            if file_part:
+                entries.append((file_part, check_part))
+    return entries
+
+
+def baselined(fingerprint: str, baseline: list) -> bool:
+    file_part, _, check = fingerprint.rpartition(":")
+    for base_file, base_check in baseline:
+        if base_file == file_part and fnmatch.fnmatchcase(check, base_check):
+            return True
+    return False
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build", help="build dir with compile db")
+    ap.add_argument(
+        "--baseline",
+        default=os.path.join("tools", "clang_tidy_baseline.txt"),
+        help="baseline suppression file (repo-relative)",
+    )
+    ap.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current diagnostics and exit 0",
+    )
+    args = ap.parse_args()
+
+    root = repo_root()
+    sources = list_sources(root)
+    if not sources:
+        print("clang_tidy_gate: no sources under src/", file=sys.stderr)
+        return 2
+
+    output = run_clang_tidy(root, args.build, sources)
+    fingerprints = parse_fingerprints(output, root)
+
+    baseline_path = os.path.join(root, args.baseline)
+    if args.update_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            fh.write("# clang-tidy baseline (generated by clang_tidy_gate.py"
+                     " --update-baseline).\n")
+            fh.write("# One `file:check` pair per line; the gate fails only"
+                     " on pairs absent here.\n")
+            for fp in sorted(fingerprints):
+                fh.write(fp + "\n")
+        print(f"clang_tidy_gate: wrote {len(fingerprints)} entries to "
+              f"{args.baseline}")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    fresh = sorted(fp for fp in fingerprints if not baselined(fp, baseline))
+    if fresh:
+        print("clang_tidy_gate: NEW diagnostics not in the baseline:")
+        for fp in fresh:
+            print(f"  {fp}")
+        print(
+            f"\n{len(fresh)} new finding(s). Fix them, or if a finding is a "
+            "deliberate idiom, add its `file:check` pair to "
+            f"{args.baseline} with a justifying comment."
+        )
+        return 1
+    print(
+        f"clang_tidy_gate: clean ({len(fingerprints)} diagnostic(s), all "
+        f"baselined; {len(baseline)} baseline entries)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
